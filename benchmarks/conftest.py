@@ -1,0 +1,35 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper table/figure (scaled to laptop
+sizes) and emits it twice: to stdout and to
+``benchmarks/results/<name>.txt`` so the artifact survives pytest's
+output capture.  EXPERIMENTS.md is the curated paper-vs-measured
+comparison built from these outputs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{'=' * 72}\n{text}{'=' * 72}")
+    return text
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2017)
+
+
+def fmt_row(cols, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))

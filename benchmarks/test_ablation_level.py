@@ -1,0 +1,106 @@
+"""Ablation: level restriction L — reduced-system size vs solver cost.
+
+Section II-C: with the frontier at level L, the coalesced reduced
+system has dimension ~2^L * s; the direct method pays
+O(2^{2L} s^2 N + 2^{3L} s^3) to factorize it (infeasible at the
+paper's L = 7: >500 GB just for Z), while the hybrid pays per-solve
+GMRES iterations instead.  This sweep shows the crossover.
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from conftest import emit, fmt_row
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.datasets import load_dataset
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import factorize
+from repro.util.flops import FlopCounter
+
+N = 4096
+LEVELS = [1, 2, 3, 4]
+
+
+def _case(level):
+    ds = load_dataset("susy", N, seed=0)
+    hmat = build_hmatrix(
+        ds.X_train,
+        GaussianKernel(bandwidth=1.0),
+        tree_config=TreeConfig(leaf_size=128, seed=1),
+        skeleton_config=SkeletonConfig(
+            tau=1e-5, max_rank=128, num_samples=256, num_neighbors=16, seed=2,
+            level_restriction=level,
+        ),
+    )
+    u = np.random.default_rng(0).standard_normal(N)
+    out = {"level": level, "reduced": hmat.skeletons.total_frontier_rank()}
+    for method in ("direct", "hybrid"):
+        cfg = SolverConfig(
+            method=method,
+            check_stability=False,
+            gmres=GMRESConfig(tol=1e-8, max_iters=400),
+        )
+        with FlopCounter() as fc:
+            t0 = time.perf_counter()
+            fact = factorize(hmat, 1.0, cfg)
+            tf = time.perf_counter() - t0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            t0 = time.perf_counter()
+            w = fact.solve(u)
+            ts = time.perf_counter() - t0
+        out[method] = (
+            tf, fc.flops, ts, fact.residual(u, w),
+            sum(fact.reduced_iterations),
+        )
+    return out
+
+
+def test_ablation_level_restriction(benchmark):
+    rows = [_case(level) for level in LEVELS]
+    widths = [4, 8, 10, 11, 10, 11, 10, 6]
+    lines = [
+        f"ABLATION -- level restriction L sweep (SUSY stand-in, N={N}, "
+        "tau=1e-5, smax=128)",
+        "M = coalesced reduced-system dimension (sum of frontier ranks)",
+        "",
+        fmt_row(
+            ["L", "M", "Tf-direct", "GF-direct", "Tf-hybrid", "GF-hybrid",
+             "Ts-hybrid", "KSP"],
+            widths,
+        ),
+    ]
+    for r in rows:
+        tf_d, ff_d, _ts_d, _res_d, _ = r["direct"]
+        tf_h, ff_h, ts_h, _res_h, ksp = r["hybrid"]
+        lines.append(
+            fmt_row(
+                [
+                    r["level"], r["reduced"], f"{tf_d:.2f}s",
+                    f"{ff_d / 1e9:.1f}", f"{tf_h:.2f}s", f"{ff_h / 1e9:.1f}",
+                    f"{ts_h:.3f}s", ksp,
+                ],
+                widths,
+            )
+        )
+    m0, m_last = rows[0]["reduced"], rows[-1]["reduced"]
+    lines += [
+        "",
+        f"reduced system grows {m0} -> {m_last} (~2^L s); the direct",
+        "factorization's flops grow with it while the hybrid's stay flat —",
+        "at the paper's L=7 the direct Z alone would need >500 GB, the",
+        "hybrid still runs (its cost moves into the per-solve iterations).",
+    ]
+    emit("ablation_level", lines)
+
+    assert rows[-1]["reduced"] > rows[0]["reduced"]
+    # hybrid factorization cost must not blow up with L.
+    ratio_hybrid = rows[-1]["hybrid"][1] / rows[0]["hybrid"][1]
+    ratio_direct = rows[-1]["direct"][1] / rows[0]["direct"][1]
+    assert ratio_direct > ratio_hybrid
+
+    benchmark.pedantic(lambda: _case(2), rounds=1, iterations=1)

@@ -1,0 +1,156 @@
+"""Baseline comparison: hierarchical vs Nystrom vs dense.
+
+Reproduces the paper's *motivation* (sections I and Related Work):
+
+* "For small h, K approaches the identity ... for large h, K approaches
+  the rank-one constant matrix ... for the majority of h values, K is
+  neither sparse nor globally low-rank."
+* "Nystrom methods ... can be used to build fast factorizations.
+  However, not all kernel matrices can be approximated well by Nystrom
+  methods."
+
+Two comparisons at a matched rank budget:
+
+1. approximation error ``||K - K_approx|| / ||K||`` across bandwidths —
+   the global low-rank approximation collapses as h shrinks while the
+   hierarchical one keeps compressing;
+2. end-to-end kernel ridge classification on the COVTYPE stand-in at
+   narrow bandwidths (the regime real cross-validation picks) — the
+   approximation gap turns into an accuracy gap.
+
+The dense solver anchors exactness and the O(N^3) vs O(N log N) work
+crossover.
+"""
+
+import numpy as np
+
+from conftest import emit, fmt_row
+from repro.baselines import DenseSolver, NystromApproximation
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.datasets import load_dataset, normal_embedded
+from repro.hmatrix import build_hmatrix, estimate_matrix_error
+from repro.kernels import GaussianKernel
+from repro.kernels.gsks import gsks_matvec
+from repro.learning import KernelRidgeClassifier, accuracy
+from repro.solvers import factorize
+from repro.util.flops import FlopCounter
+
+N = 2048
+RANK = 128
+BANDWIDTHS = [30.0, 8.0, 3.0, 1.5, 0.8]
+LAM = 0.5
+
+TREE = TreeConfig(leaf_size=RANK, seed=1)
+SKEL = SkeletonConfig(
+    tau=1e-10, max_rank=RANK, num_samples=4 * RANK, num_neighbors=16, seed=2
+)
+
+
+def test_baseline_approximation_sweep(benchmark):
+    X = normal_embedded(N, ambient_dim=16, intrinsic_dim=4, seed=33)
+    rows = []
+    for h in BANDWIDTHS:
+        kernel = GaussianKernel(bandwidth=h)
+        ny = NystromApproximation(kernel, rank=RANK, seed=1).fit(X)
+        ny_err = ny.matrix_error(X, seed=2)
+        hm = build_hmatrix(X, kernel, tree_config=TREE, skeleton_config=SKEL)
+        hier_err = estimate_matrix_error(hm, seed=2)
+        rows.append((h, ny_err, hier_err))
+
+    # dense work anchor.
+    kernel = GaussianKernel(bandwidth=3.0)
+    with FlopCounter() as fc_dense:
+        DenseSolver(kernel).fit(X).factorize(LAM)
+    hm = build_hmatrix(X, kernel, tree_config=TREE, skeleton_config=SKEL)
+    with FlopCounter() as fc_hier:
+        factorize(hm, LAM, SolverConfig(check_stability=False))
+
+    widths = [7, 13, 12, 9]
+    lines = [
+        f"BASELINES (1/2) -- approximation error at matched rank budget "
+        f"{RANK} (N={N}, NORMAL-like 16-D data)",
+        "",
+        fmt_row(["h", "nystrom-err", "hier-err", "ratio"], widths),
+    ]
+    for h, ne, he in rows:
+        lines.append(
+            fmt_row([h, f"{ne:.1e}", f"{he:.1e}", f"{ne / he:.0f}x"], widths)
+        )
+    lines += [
+        "",
+        "paper shape: at large h K is globally low rank and Nystrom matches",
+        "the hierarchical approximation; as h shrinks into the 'neither",
+        "sparse nor low-rank' regime the global approximation collapses",
+        "(errors near 1) while the hierarchical one holds at percent level.",
+        "",
+        f"work anchor (h=3.0, N={N}): dense LAPACK {fc_dense.flops / 1e9:.1f}"
+        f" GFLOP vs hierarchical {fc_hier.flops / 1e9:.1f} GFLOP "
+        f"({fc_dense.flops / fc_hier.flops:.0f}x; gap grows ~N^2/(s log N)).",
+    ]
+    emit("baseline_approximation", lines)
+
+    assert rows[0][1] < 1e-4                    # Nystrom fine at huge h
+    assert rows[-1][1] > 10 * rows[-1][2]       # collapses at small h
+    assert rows[-1][2] < 0.1                    # hierarchical still works
+    assert fc_dense.flops > 2 * fc_hier.flops
+
+    benchmark.pedantic(
+        lambda: NystromApproximation(
+            GaussianKernel(bandwidth=3.0), rank=RANK, seed=1
+        ).fit(X),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_baseline_ridge_accuracy(benchmark):
+    """End-to-end: the approximation gap becomes an accuracy gap."""
+    ds = load_dataset("covtype", N, seed=0)
+    rows = []
+    for h, lam in ((0.5, 0.3), (0.35, 0.1)):
+        kernel = GaussianKernel(bandwidth=h)
+        clf = KernelRidgeClassifier(
+            kernel, lam=lam,
+            tree_config=TreeConfig(leaf_size=128, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-5, max_rank=RANK, num_samples=256, num_neighbors=16, seed=2
+            ),
+        ).fit(ds.X_train, ds.y_train)
+        acc_h = clf.score(ds.X_test, ds.y_test)
+
+        ny = NystromApproximation(kernel, rank=RANK, seed=1).fit(ds.X_train)
+        ny.factorize(lam)
+        w = ny.solve(np.asarray(ds.y_train, dtype=np.float64))
+        scores = gsks_matvec(kernel, ds.X_test, ds.X_train, w)
+        pred = np.sign(scores)
+        pred[pred == 0] = 1.0
+        acc_n = accuracy(ds.y_test, pred)
+        rows.append((h, lam, acc_h, acc_n, ny.matrix_error(ds.X_train, seed=3)))
+
+    widths = [7, 7, 10, 13, 13]
+    lines = [
+        f"BASELINES (2/2) -- kernel ridge accuracy, COVTYPE stand-in "
+        f"(N={N}, rank budget {RANK})",
+        "",
+        fmt_row(["h", "lam", "hier-acc", "nystrom-acc", "nystrom-err"], widths),
+    ]
+    for h, lam, ah, an, ne in rows:
+        lines.append(
+            fmt_row(
+                [h, lam, f"{100 * ah:.1f}%", f"{100 * an:.1f}%", f"{ne:.1e}"],
+                widths,
+            )
+        )
+    lines += [
+        "",
+        "at the narrow bandwidths cross-validation actually selects, the",
+        "Nystrom model's approximation error costs classification accuracy",
+        "while the hierarchical solver is unaffected — the paper's point",
+        "about kernel methods needing more than global low rank.",
+    ]
+    emit("baseline_ridge", lines)
+
+    assert rows[-1][2] > rows[-1][3] + 0.05  # hier wins at narrow h
+    assert rows[-1][2] > 0.9
+
+    benchmark(lambda: None)

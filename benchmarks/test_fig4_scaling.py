@@ -1,0 +1,107 @@
+"""Figure 4 (right, #18): strong scaling of the distributed factorization.
+
+Paper: NORMAL 1M, m = s = 2048, L = 1; scaling from 1 node to 128
+Haswell nodes (3,072 cores, 62% efficiency) and 64 KNL nodes (4,352
+cores, 70% efficiency); efficiency degrades as the per-core share of
+the (fixed) problem shrinks.
+
+Reproduction: NORMAL at N = 4096 over p = 1..16 *virtual* MPI ranks.
+Each run produces per-rank flop counts and real message/byte traffic
+from the fabric; the cluster model (latency + bandwidth + node rate)
+converts them to modeled wall-clock, from which the efficiency series
+is computed exactly as the paper's green-line comparison.
+"""
+
+import numpy as np
+
+from conftest import emit, fmt_row
+from repro.config import SkeletonConfig, TreeConfig
+from repro.datasets import normal_embedded
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.parallel import distributed_factorize
+from repro.perfmodel import HASWELL_NODE, KNL_NODE, ScalingModel
+
+N = 4096
+RANKS = [1, 2, 4, 8, 16]
+
+
+def _build():
+    X = normal_embedded(N, ambient_dim=64, intrinsic_dim=6, seed=18)
+    return build_hmatrix(
+        X,
+        GaussianKernel(bandwidth=4.0),
+        tree_config=TreeConfig(leaf_size=128, seed=1),
+        skeleton_config=SkeletonConfig(
+            rank=64, num_samples=128, num_neighbors=0, seed=2
+        ),
+    )
+
+
+def test_fig4_strong_scaling(benchmark):
+    runs = []
+    for p in RANKS:
+        # rebuild per p: kernel blocks are evaluated lazily during the
+        # factorization and must be charged to every run equally.
+        hmat = _build()
+        dist = distributed_factorize(hmat, 1.0, p)
+        max_flops = max(st.factor_flops for st in dist.states)
+        runs.append((p, max_flops, dist.factor_stats))
+
+    models = {
+        "Haswell": ScalingModel(HASWELL_NODE, ranks_per_node=1, efficiency=0.62),
+        "KNL": ScalingModel(KNL_NODE, ranks_per_node=1, efficiency=0.45),
+    }
+    widths = [6, 11, 9, 11, 12, 12, 11]
+    lines = [
+        f"FIGURE 4 (right, #18) -- strong scaling, NORMAL N={N}, fixed s=64",
+        "per-rank work and real fabric traffic -> modeled cluster time",
+        "",
+        fmt_row(
+            ["p", "max GFLOP", "msgs", "MB moved", "T-haswell", "T-knl",
+             "eff-haswell"],
+            widths,
+        ),
+    ]
+    effs = {}
+    for name, model in models.items():
+        pts = [model.point(p, f, st) for (p, f, st) in runs]
+        effs[name] = ScalingModel.efficiency_series(pts)
+
+    hsw_pts = [models["Haswell"].point(p, f, st) for (p, f, st) in runs]
+    knl_pts = [models["KNL"].point(p, f, st) for (p, f, st) in runs]
+    for i, (p, f, st) in enumerate(runs):
+        lines.append(
+            fmt_row(
+                [
+                    p, f"{f / 1e9:.2f}", st.messages, f"{st.bytes / 1e6:.2f}",
+                    f"{hsw_pts[i].seconds * 1e3:.2f}ms",
+                    f"{knl_pts[i].seconds * 1e3:.2f}ms",
+                    f"{100 * effs['Haswell'][i]:.0f}%",
+                ],
+                widths,
+            )
+        )
+    lines += [
+        "",
+        f"efficiency series (Haswell): "
+        + " ".join(f"{100 * e:.0f}%" for e in effs["Haswell"]),
+        f"efficiency series (KNL):     "
+        + " ".join(f"{100 * e:.0f}%" for e in effs["KNL"]),
+        "paper: 100% -> 62% on 3,072 Haswell cores; 100% -> 70% on 4,352",
+        "KNL cores — efficiency decays smoothly as p grows against fixed N;",
+        "the same monotone decay (communication amortizes less work per",
+        "rank) appears above.",
+    ]
+    emit("fig4_scaling", lines)
+
+    eff = effs["Haswell"]
+    assert eff[0] == 1.0
+    # monotone decay (2% tolerance for load-imbalance noise at small p).
+    assert all(b <= a + 0.02 for a, b in zip(eff, eff[1:]))
+    assert 0.2 < eff[-1] < 0.9  # decayed but still scaling at max p
+    # solution correctness across p is covered by tests/test_dist_solver.py.
+
+    benchmark.pedantic(
+        lambda: distributed_factorize(hmat, 1.0, 4), rounds=1, iterations=1
+    )

@@ -1,0 +1,112 @@
+"""Table I: Gaussian kernel summation efficiency — GSKS vs MKL+VML.
+
+Paper: GFLOPS of m x n x d Gaussian summation for m = n in {4K, 8K, 16K}
+and d in {4, 20, 36, 68, 132, 260}, on Haswell and KNL; GSKS is
+3-30x faster than the reference on KNL for d < 68.
+
+Reproduction: the modeled-GFLOPS table comes from the roofline models
+fed by the exact FLOP/MOP structure of both paths; the *measured*
+section times our fused tile loop against the evaluate-then-GEMV
+reference in this process (both numpy) at a scaled size, confirming
+the memory-traffic ordering on real hardware too.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import emit, fmt_row
+from repro.kernels import GaussianKernel
+from repro.kernels.gsks import GSKSWorkspace, gsks_matvec
+from repro.perfmodel import (
+    HASWELL_NODE,
+    KNL_NODE,
+    model_gsks_summation,
+    model_reference_summation,
+)
+
+DIMS = [4, 20, 36, 68, 132, 260]
+SIZES = [16384, 8192, 4096]
+
+MEASURE_N = 2048
+MEASURE_DIMS = [4, 36, 132]
+
+
+def _measured_ratio(d: int) -> tuple[float, float, float]:
+    """(t_reference, t_fused, ratio) at the scaled measurement size."""
+    rng = np.random.default_rng(d)
+    X = rng.standard_normal((MEASURE_N, d))
+    u = rng.standard_normal(MEASURE_N)
+    kernel = GaussianKernel(bandwidth=1.0)
+    ws = GSKSWorkspace()
+
+    def reference():
+        return kernel(X, X) @ u  # materialize, then GEMV
+
+    def fused():
+        return gsks_matvec(kernel, X, X, u, workspace=ws)
+
+    reference(), fused()  # warm up
+    t0 = time.perf_counter()
+    reference()
+    t_ref = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fused()
+    t_fused = time.perf_counter() - t0
+    return t_ref, t_fused, t_ref / t_fused
+
+
+def test_table1_model_and_measurement(benchmark):
+    lines = [
+        "TABLE I -- Gaussian kernel summation efficiency (GFLOPS, modeled)",
+        "paper metric: useful GEMM flops (2*m*n*d) / wall time",
+        "",
+        fmt_row(["Arch", "size", "method"] + [f"d={d}" for d in DIMS],
+                [9, 6, 9] + [8] * len(DIMS)),
+    ]
+    for size in SIZES:
+        for machine, tag in ((HASWELL_NODE, "Haswell"), (KNL_NODE, "KNL")):
+            ref = [model_reference_summation(machine, size, size, d).gflops for d in DIMS]
+            gsks = [model_gsks_summation(machine, size, size, d).gflops for d in DIMS]
+            lines.append(fmt_row(
+                [tag, f"{size // 1024}K", "MKL+VML"] + [f"{g:.0f}" for g in ref],
+                [9, 6, 9] + [8] * len(DIMS)))
+            lines.append(fmt_row(
+                [tag, f"{size // 1024}K", "GSKS"] + [f"{g:.0f}" for g in gsks],
+                [9, 6, 9] + [8] * len(DIMS)))
+    lines += [
+        "",
+        "paper shape: GSKS > MKL+VML everywhere; advantage largest at small d",
+        "and on KNL (3-30x for d < 68).  Modeled speedups (KNL, 16K):",
+        "  " + "  ".join(
+            f"d={d}: {model_reference_summation(KNL_NODE, 16384, 16384, d).seconds / model_gsks_summation(KNL_NODE, 16384, 16384, d).seconds:.1f}x"
+            for d in DIMS
+        ),
+        "",
+        f"measured in-process (N={MEASURE_N}, numpy): evaluate-then-GEMV vs fused tiles",
+    ]
+    for d in MEASURE_DIMS:
+        t_ref, t_fused, ratio = _measured_ratio(d)
+        lines.append(
+            f"  d={d:<4d} reference {t_ref * 1e3:7.1f} ms   fused {t_fused * 1e3:7.1f} ms"
+            f"   (fused avoids the O(m*n) store: ratio {ratio:.2f}x)"
+        )
+    emit("table1_gsks", lines)
+
+    # timed benchmark target: the fused summation kernel itself.
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((MEASURE_N, 36))
+    u = rng.standard_normal(MEASURE_N)
+    kernel = GaussianKernel(bandwidth=1.0)
+    ws = GSKSWorkspace()
+    benchmark(lambda: gsks_matvec(kernel, X, X, u, workspace=ws))
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_table1_gsks_wins_everywhere(benchmark, d):
+    """Shape assertion per dimension + per-d model benchmark."""
+    ref = model_reference_summation(KNL_NODE, 16384, 16384, d)
+    gsks = model_gsks_summation(KNL_NODE, 16384, 16384, d)
+    assert gsks.seconds < ref.seconds
+    benchmark(lambda: model_gsks_summation(KNL_NODE, 16384, 16384, d))

@@ -1,0 +1,104 @@
+"""Table II: datasets + kernel ridge regression accuracy.
+
+Paper: binary classification accuracy via kernel ridge regression on
+COVTYPE (96%), SUSY (78%), MNIST2M (100%), HIGGS (73%), with (h, lam)
+from holdout cross-validation.
+
+Reproduction: synthetic stand-ins at N = 2048 (paper: 0.1M-10.5M) with
+matched d and class-overlap structure; a small (h, lambda) grid search
+mirrors the paper's cross-validation, then the best model is scored on
+disjoint test points.  Absolute accuracies depend on the stand-in
+geometry; the *shape* reproduced is easy sets high / hard sets lower,
+plus the full train-predict pipeline through the fast solver.
+"""
+
+import pytest
+
+from conftest import emit, fmt_row
+from repro.config import SkeletonConfig, TreeConfig
+from repro.datasets import load_dataset, paper_parameters
+from repro.kernels import GaussianKernel
+from repro.learning import KernelRidgeClassifier, holdout_cross_validation
+
+N_TRAIN = 2048
+
+TREE = TreeConfig(leaf_size=128, seed=1)
+SKEL = SkeletonConfig(
+    tau=1e-5, max_rank=128, num_samples=256, num_neighbors=16, seed=2
+)
+
+#: grids per dataset: the stand-ins are normalized, so bandwidths near 1
+#: are the relevant range (the paper's h values were for its raw data).
+GRIDS = {
+    "covtype": ([0.5, 1.0, 2.0], [0.01, 0.3]),
+    "susy": ([0.5, 1.0, 2.0], [0.1, 1.0]),
+    "higgs": ([0.5, 1.0, 2.0], [0.1, 1.0]),
+    "mnist2m": ([1.0, 3.0], [0.01, 1.0]),
+}
+
+_results: dict[str, tuple] = {}
+
+
+@pytest.mark.parametrize("name", list(GRIDS))
+def test_table2_dataset(benchmark, name):
+    ds = load_dataset(name, N_TRAIN, seed=0)
+    bandwidths, lambdas = GRIDS[name]
+    cv = holdout_cross_validation(
+        ds.X_train,
+        ds.y_train,
+        bandwidths,
+        lambdas,
+        holdout_fraction=0.2,
+        seed=0,
+        tree_config=TREE,
+        skeleton_config=SKEL,
+    )
+    clf = KernelRidgeClassifier(
+        GaussianKernel(bandwidth=cv.best_h),
+        lam=cv.best_lam,
+        tree_config=TREE,
+        skeleton_config=SKEL,
+    )
+
+    def train():
+        clf.fit(ds.X_train, ds.y_train)
+        return clf
+
+    benchmark.pedantic(train, rounds=1, iterations=1)
+    acc = clf.score(ds.X_test, ds.y_test)
+    _results[name] = (ds, cv, acc, clf.train_residual)
+    assert acc > 0.6  # every stand-in is learnable well above chance
+
+
+def test_table2_emit(benchmark):
+    benchmark(lambda: None)  # keep this row alive under --benchmark-only
+    if not _results:
+        pytest.skip("run the per-dataset benchmarks first")
+    widths = [9, 7, 5, 7, 8, 7, 10, 10, 11]
+    lines = [
+        f"TABLE II -- kernel ridge regression (stand-ins, N={N_TRAIN}; "
+        "paper N in millions)",
+        "",
+        fmt_row(
+            ["dataset", "N", "d", "h*", "lam*", "Acc", "paper-Acc", "paper-N", "residual"],
+            widths,
+        ),
+    ]
+    for name, (ds, cv, acc, res) in _results.items():
+        paper = paper_parameters(name)
+        lines.append(
+            fmt_row(
+                [
+                    name, ds.n, ds.d, cv.best_h, cv.best_lam,
+                    f"{100 * acc:.0f}%", paper["paper_acc"], paper["paper_n"],
+                    f"{res:.1e}",
+                ],
+                widths,
+            )
+        )
+    lines += [
+        "",
+        "(h*, lam*) from holdout cross-validation on the training split,",
+        "exactly the paper's selection procedure; Acc on disjoint test points.",
+    ]
+    emit("table2_regression", lines)

@@ -1,0 +1,77 @@
+"""Using the factorization as a preconditioner for the exact system.
+
+The direct solver inverts the *approximation* ``lambda I + K~`` — its
+accuracy against the true kernel matrix is capped by the skeleton
+tolerance.  Wrapping it as a preconditioner for GMRES on the exact
+operator (applied matrix-free with GSKS tiles) removes that cap: a few
+iterations reach machine precision on the true system, even when the
+skeletonization is deliberately cheap.  This is the "use as a
+preconditioner" extension suggested in the paper's related work.
+
+Run:  python examples/preconditioned_exact_solve.py
+"""
+
+import time
+import warnings
+
+import numpy as np
+
+from repro import GaussianKernel
+from repro.config import GMRESConfig, SkeletonConfig, TreeConfig
+from repro.datasets import normal_embedded
+from repro.hmatrix import build_hmatrix
+from repro.kernels.gsks import gsks_matvec
+from repro.solvers import factorize, gmres, solve_exact
+
+
+def main() -> None:
+    n = 4096
+    X = normal_embedded(n, ambient_dim=64, intrinsic_dim=6, seed=1)
+    kernel = GaussianKernel(bandwidth=4.0)
+    lam = 0.5
+    u = np.random.default_rng(0).standard_normal(n)
+
+    print(f"N={n}; cheap skeletonization (tau=1e-3, smax=64) on purpose")
+    hmat = build_hmatrix(
+        X,
+        kernel,
+        tree_config=TreeConfig(leaf_size=128, seed=2),
+        skeleton_config=SkeletonConfig(
+            tau=1e-3, max_rank=64, num_samples=192, num_neighbors=8, seed=3
+        ),
+    )
+    fact = factorize(hmat, lam)
+
+    pts = hmat.tree.points
+    def exact_residual(w):
+        r = u - (gsks_matvec(kernel, pts, pts, w) + lam * w)
+        return float(np.linalg.norm(r) / np.linalg.norm(u))
+
+    w_approx = fact.solve(u)
+    print(f"approximate direct solve residual vs exact K: {exact_residual(w_approx):.2e}")
+
+    t0 = time.perf_counter()
+    res = solve_exact(fact, u, GMRESConfig(tol=1e-12, max_iters=40))
+    dt = time.perf_counter() - t0
+    print(
+        f"preconditioned GMRES: {res.n_iters} iterations, "
+        f"residual {res.residual:.2e}, {dt:.2f}s"
+    )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        t0 = time.perf_counter()
+        plain = gmres(
+            lambda v: gsks_matvec(kernel, pts, pts, v) + lam * v,
+            u,
+            GMRESConfig(tol=1e-12, max_iters=res.n_iters),
+        )
+        dt_plain = time.perf_counter() - t0
+    print(
+        f"unpreconditioned GMRES, same iteration budget: "
+        f"residual {plain.final_residual:.2e}, {dt_plain:.2f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — An N log N parallel fast direct solver for kernel matrices.
+
+Reproduction of Yu, March & Biros, IPDPS 2017 (arXiv:1701.02324).
+
+Public API highlights
+---------------------
+* :class:`repro.core.FastKernelSolver` — the one-stop facade: build the
+  ball tree, skeletonize (ASKIT), factorize (O(N log N) telescoping, the
+  O(N log^2 N) baseline, level-restricted direct, or hybrid iterative),
+  and solve ``(lambda I + K~) w = u``.
+* :mod:`repro.kernels` — Gaussian/Laplacian/Matern/polynomial kernels and
+  GSKS fused matrix-free kernel summation.
+* :mod:`repro.parallel` — virtual-MPI runtime and the distributed
+  factorization/solve (Algorithms II.4–II.5).
+* :mod:`repro.learning` — kernel ridge regression on top of the solver.
+* :mod:`repro.datasets` — the paper's synthetic NORMAL set and stand-ins
+  for its real-world datasets.
+"""
+
+from repro.config import SolverConfig, SkeletonConfig, TreeConfig
+from repro.kernels import (
+    GaussianKernel,
+    LaplacianKernel,
+    MaternKernel,
+    PolynomialKernel,
+    kernel_by_name,
+)
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # FastKernelSolver pulls in the whole solver stack; import it lazily
+    # so `import repro` stays light for kernel-only users.
+    if name == "FastKernelSolver":
+        from repro.core.solver import FastKernelSolver
+
+        return FastKernelSolver
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "FastKernelSolver",
+    "SolverConfig",
+    "SkeletonConfig",
+    "TreeConfig",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "MaternKernel",
+    "PolynomialKernel",
+    "kernel_by_name",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Dense direct solver: the O(N^3) reference.
+
+Materializes the full kernel matrix and factorizes ``lambda I + K``
+with LAPACK (Cholesky for PSD kernels, LU fallback).  Exact up to
+roundoff; O(N^2) memory and O(N^3) factorization work — the costs the
+hierarchical solver removes.  Used by the comparison bench to locate
+the crossover and by tests as ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import NotFactorizedError
+from repro.kernels.base import Kernel
+from repro.util.flops import count_flops
+from repro.util.validation import check_points, check_vector
+
+__all__ = ["DenseSolver"]
+
+
+class DenseSolver:
+    """Exact dense factorization of ``lambda I + K``.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel function.
+    try_cholesky:
+        Attempt a Cholesky factorization first (half the work of LU);
+        falls back to LU if the regularized matrix is not numerically
+        positive definite.
+    """
+
+    def __init__(self, kernel: Kernel, *, try_cholesky: bool = True) -> None:
+        self.kernel = kernel
+        self.try_cholesky = try_cholesky
+        self._X: np.ndarray | None = None
+        self._K: np.ndarray | None = None
+        self._chol = None
+        self._lu = None
+        self.lam: float = 0.0
+
+    @property
+    def n_points(self) -> int:
+        if self._X is None:
+            raise NotFactorizedError("call fit(X) first")
+        return self._X.shape[0]
+
+    def fit(self, X: np.ndarray) -> "DenseSolver":
+        """Evaluate and store the full N x N kernel matrix."""
+        X = check_points(X)
+        self._X = X
+        self._K = self.kernel(X, X)
+        self._chol = None
+        self._lu = None
+        return self
+
+    def factorize(self, lam: float = 0.0) -> "DenseSolver":
+        """LAPACK factorization of ``lambda I + K``."""
+        if self._K is None:
+            raise NotFactorizedError("call fit(X) first")
+        if lam < 0:
+            raise ValueError(f"lambda must be >= 0; got {lam}")
+        self.lam = float(lam)
+        n = self._K.shape[0]
+        A = np.array(self._K, copy=True)
+        idx = np.arange(n)
+        A[idx, idx] += lam
+        self._chol = None
+        self._lu = None
+        if self.try_cholesky:
+            try:
+                self._chol = scipy.linalg.cho_factor(A, check_finite=False)
+                count_flops(n**3 // 3, label="dense_chol")
+                return self
+            except scipy.linalg.LinAlgError:
+                pass
+        self._lu = scipy.linalg.lu_factor(A, check_finite=False)
+        count_flops(2 * n**3 // 3, label="dense_lu")
+        return self
+
+    def _require_factorized(self) -> None:
+        if self._chol is None and self._lu is None:
+            raise NotFactorizedError("call factorize(lam) first")
+
+    def solve(self, u: np.ndarray) -> np.ndarray:
+        """``(lambda I + K)^{-1} u`` (exact)."""
+        self._require_factorized()
+        u = check_vector(u, self.n_points)
+        n = self.n_points
+        k = 1 if u.ndim == 1 else u.shape[1]
+        count_flops(2 * n * n * k, label="dense_solve")
+        if self._chol is not None:
+            return scipy.linalg.cho_solve(self._chol, u, check_finite=False)
+        return scipy.linalg.lu_solve(self._lu, u, check_finite=False)
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Exact ``K u``."""
+        if self._K is None:
+            raise NotFactorizedError("call fit(X) first")
+        u = check_vector(u, self.n_points)
+        count_flops(2 * self._K.size * (1 if u.ndim == 1 else u.shape[1]))
+        return self._K @ u
+
+    def slogdet(self) -> tuple[float, float]:
+        """Sign and log|det| of the factorized matrix."""
+        self._require_factorized()
+        if self._chol is not None:
+            c, _lower = self._chol
+            return 1.0, 2.0 * float(np.sum(np.log(np.abs(np.diag(c)))))
+        lu, piv = self._lu
+        diag = np.diag(lu)
+        sign = 1.0 if (np.count_nonzero(diag < 0) + np.count_nonzero(
+            piv != np.arange(len(piv)))) % 2 == 0 else -1.0
+        return sign, float(np.sum(np.log(np.abs(diag))))
+
+    def storage_words(self) -> int:
+        """O(N^2): the stored kernel matrix plus the factor."""
+        if self._K is None:
+            return 0
+        total = self._K.size
+        if self._chol is not None:
+            total += self._chol[0].size
+        if self._lu is not None:
+            total += self._lu[0].size
+        return total

@@ -1,0 +1,167 @@
+"""Command-line interface: run the solver pipeline from a shell.
+
+Examples
+--------
+::
+
+    python -m repro solve --dataset normal --n 8192 --bandwidth 4 --lam 1
+    python -m repro solve --dataset susy --method hybrid --level 3
+    python -m repro classify --dataset covtype --n 4096
+    python -m repro info
+
+Installed as the ``repro`` console script as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import FastKernelSolver, GaussianKernel
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.datasets import DATASET_NAMES, load_dataset, paper_parameters
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "An N log N parallel fast direct solver for kernel matrices "
+            "(reproduction of Yu, March & Biros, IPDPS 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", default="normal", choices=DATASET_NAMES)
+    common.add_argument("--n", type=int, default=4096, help="training points")
+    common.add_argument("--bandwidth", type=float, default=None,
+                        help="Gaussian bandwidth h (default: dataset's)")
+    common.add_argument("--leaf", type=int, default=128, help="leaf size m")
+    common.add_argument("--tau", type=float, default=1e-5,
+                        help="adaptive-rank tolerance")
+    common.add_argument("--smax", type=int, default=128, help="max skeleton size")
+    common.add_argument("--neighbors", type=int, default=16,
+                        help="kappa sampling neighbors")
+    common.add_argument("--seed", type=int, default=0)
+
+    p_solve = sub.add_parser(
+        "solve", parents=[common],
+        help="factorize lambda*I + K~ and solve against a random RHS",
+    )
+    p_solve.add_argument("--lam", type=float, default=None,
+                         help="regularization (default: dataset's)")
+    p_solve.add_argument("--method", default="nlogn",
+                         choices=["nlogn", "nlog2n", "direct", "hybrid"])
+    p_solve.add_argument("--level", type=int, default=0,
+                         help="level restriction L (0 = none)")
+
+    p_cls = sub.add_parser(
+        "classify", parents=[common],
+        help="kernel ridge binary classification with (h, lambda) CV",
+    )
+    p_cls.add_argument("--lam", type=float, default=None)
+
+    sub.add_parser("info", help="list datasets and their Table II parameters")
+    return parser
+
+
+def _skeleton_config(args) -> SkeletonConfig:
+    return SkeletonConfig(
+        tau=args.tau,
+        max_rank=args.smax,
+        num_samples=max(2 * args.smax, 128),
+        num_neighbors=args.neighbors,
+        seed=args.seed,
+        level_restriction=getattr(args, "level", 0),
+    )
+
+
+def _cmd_solve(args) -> int:
+    ds = load_dataset(args.dataset, args.n, seed=args.seed)
+    h = args.bandwidth if args.bandwidth is not None else max(ds.h, 0.5)
+    lam = args.lam if args.lam is not None else max(ds.lam, 1e-3)
+    print(f"dataset={ds.name} N={ds.n} d={ds.d}  h={h}  lambda={lam}  "
+          f"method={args.method}")
+    solver = FastKernelSolver(
+        GaussianKernel(bandwidth=h),
+        tree_config=TreeConfig(leaf_size=args.leaf, seed=args.seed),
+        skeleton_config=_skeleton_config(args),
+        solver_config=SolverConfig(
+            method=args.method, gmres=GMRESConfig(tol=1e-9, max_iters=400)
+        ),
+    )
+    t0 = time.perf_counter()
+    solver.fit(ds.X_train)
+    t_fit = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    solver.factorize(lam)
+    t_factor = time.perf_counter() - t0
+    u = np.random.default_rng(args.seed).standard_normal(ds.n)
+    t0 = time.perf_counter()
+    w, info = solver.solve_with_info(u)
+    t_solve = time.perf_counter() - t0
+    d = solver.diagnostics()
+    print(f"build {t_fit:.2f}s   factorize {t_factor:.2f}s   solve {t_solve:.3f}s")
+    print(f"residual {info.residual:.2e}   stable={info.stable}"
+          + (f"   gmres_iters={info.gmres_iterations}"
+             if info.gmres_iterations else ""))
+    print(f"depth {d['depth']}  mean rank {d['mean_rank']:.1f}  "
+          f"reduced dim {d['reduced_size']}  "
+          f"factor storage {d['factor_storage_words'] / 1e6:.1f} Mwords")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.learning import KernelRidgeClassifier, holdout_cross_validation
+
+    ds = load_dataset(args.dataset, args.n, seed=args.seed)
+    if ds.y_train is None:
+        print(f"dataset {ds.name!r} has no labels; pick one of "
+              "covtype/susy/higgs/mnist2m", file=sys.stderr)
+        return 2
+    tree = TreeConfig(leaf_size=args.leaf, seed=args.seed)
+    skel = _skeleton_config(args)
+    bandwidths = [args.bandwidth] if args.bandwidth else [0.5, 1.0, 2.0]
+    lambdas = [args.lam] if args.lam else [0.01, 0.3, 3.0]
+    cv = holdout_cross_validation(
+        ds.X_train, ds.y_train, bandwidths, lambdas,
+        seed=args.seed, tree_config=tree, skeleton_config=skel,
+    )
+    print(f"cross-validated: h={cv.best_h} lambda={cv.best_lam} "
+          f"(holdout acc {cv.best_accuracy:.3f})")
+    clf = KernelRidgeClassifier(
+        GaussianKernel(bandwidth=cv.best_h), lam=cv.best_lam,
+        tree_config=tree, skeleton_config=skel,
+    ).fit(ds.X_train, ds.y_train)
+    acc = clf.score(ds.X_test, ds.y_test)
+    print(f"test accuracy: {100 * acc:.1f}%  (paper on real "
+          f"{ds.name.upper()}: {ds.paper_acc})")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    print(f"{'dataset':<10} {'d':>5} {'h':>6} {'lambda':>8} {'paper N':>10} {'paper Acc':>10}")
+    for name in DATASET_NAMES:
+        p = paper_parameters(name)
+        print(f"{name:<10} {p['d']:>5} {p['h']:>6} {p['lam']:>8} "
+              f"{p['paper_n']:>10} {p['paper_acc']:>10}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "classify":
+        return _cmd_classify(args)
+    return _cmd_info(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Configuration dataclasses for the tree, skeletonization, and solver.
+
+The parameter names mirror the paper's notation:
+
+* ``m`` — leaf node size (``leaf_size``)
+* ``s`` / ``smax`` — (maximum) skeleton size (``rank`` / ``max_rank``)
+* ``tau`` — relative tolerance for adaptive rank selection
+* ``kappa`` — number of nearest neighbors used for skeletonization
+  sampling (``num_neighbors``)
+* ``L`` — level restriction (``level_restriction``)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TreeConfig", "SkeletonConfig", "SolverConfig", "GMRESConfig"]
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Ball-tree construction parameters (paper section II-A).
+
+    Attributes
+    ----------
+    leaf_size:
+        ``m``: recursion stops when a node holds at most this many
+        points.  All leaves end up at the same level because splits are
+        median (equal-size) splits.
+    seed:
+        Seed for the randomized choice of splitting directions.
+    """
+
+    leaf_size: int = 64
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ConfigurationError(f"leaf_size must be >= 1; got {self.leaf_size}")
+
+
+@dataclass(frozen=True)
+class SkeletonConfig:
+    """Skeletonization (ASKIT) parameters (paper section II-A).
+
+    Attributes
+    ----------
+    rank:
+        Fixed skeleton size ``s``.  If ``None``, the rank is chosen
+        adaptively per node from ``tau`` (capped at ``max_rank``).
+    max_rank:
+        ``smax``: hard cap on the skeleton size.
+    tau:
+        Adaptive-rank tolerance: the rank is the smallest ``s`` with
+        ``sigma_{s+1}/sigma_1 < tau`` estimated from the pivoted-QR
+        diagonal.
+    num_neighbors:
+        ``kappa``: per-point near neighbors blended into the row sample
+        used by the interpolative decomposition.
+    num_samples:
+        Total size of the sampled row set ``S'`` (neighbors + uniform).
+    level_restriction:
+        ``L``: nodes at tree level < L are never skeletonized; the
+        skeletonization frontier sits at level L (or deeper, if adaptive
+        stopping also triggers).  ``0`` disables restriction: everything
+        but the root is skeletonized.
+    adaptive_stop:
+        If True, stop skeletonizing a node when the ID achieves no
+        compression (``alpha~ = l~ u r~``), pushing the frontier down
+        adaptively as described in the paper's "level restriction" notes.
+    seed:
+        Seed for sampling.
+    """
+
+    rank: int | None = None
+    max_rank: int = 256
+    tau: float = 1e-5
+    num_neighbors: int = 32
+    num_samples: int = 512
+    level_restriction: int = 0
+    adaptive_stop: bool = False
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.rank is not None and self.rank < 1:
+            raise ConfigurationError(f"rank must be >= 1; got {self.rank}")
+        if self.max_rank < 1:
+            raise ConfigurationError(f"max_rank must be >= 1; got {self.max_rank}")
+        if not (0.0 < self.tau < 1.0):
+            raise ConfigurationError(f"tau must be in (0, 1); got {self.tau}")
+        if self.num_neighbors < 0:
+            raise ConfigurationError("num_neighbors must be >= 0")
+        if self.num_samples < 1:
+            raise ConfigurationError("num_samples must be >= 1")
+        if self.level_restriction < 0:
+            raise ConfigurationError("level_restriction must be >= 0")
+
+    @property
+    def effective_rank_cap(self) -> int:
+        return self.rank if self.rank is not None else self.max_rank
+
+
+@dataclass(frozen=True)
+class GMRESConfig:
+    """Krylov parameters for the hybrid solver and iterative baselines."""
+
+    tol: float = 1e-10
+    max_iters: int = 200
+    restart: int | None = None
+    reorthogonalize: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.tol < 1.0):
+            raise ConfigurationError(f"tol must be in (0, 1); got {self.tol}")
+        if self.max_iters < 1:
+            raise ConfigurationError("max_iters must be >= 1")
+        if self.restart is not None and self.restart < 1:
+            raise ConfigurationError("restart must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Factorization/solve strategy selection.
+
+    Attributes
+    ----------
+    method:
+        * ``"nlogn"`` — Algorithm II.2, the paper's O(N log N)
+          telescoping factorization (default).
+        * ``"nlog2n"`` — the INV-ASKIT [36] baseline with recursive
+          subtree solves, O(N log^2 N).
+        * ``"direct"`` — level-restricted direct factorization: dense LU
+          of the coalesced reduced system (paper section II-C; equals
+          "nlogn" when the frontier is the root's children).
+        * ``"hybrid"`` — partial factorization below the frontier +
+          matrix-free GMRES on ``(I + V W)`` (Algorithm II.6).
+    summation:
+        Kernel-summation strategy for off-diagonal blocks during solves
+        ("precomputed" / "reevaluate" / "fused"), Table IV.
+    gmres:
+        Krylov parameters for the hybrid reduced solve.
+    check_stability:
+        Monitor condition numbers of leaf blocks and reduced systems and
+        warn (paper section III).
+    cond_threshold:
+        1/rcond above which a :class:`~repro.exceptions.StabilityWarning`
+        is emitted.
+    """
+
+    method: str = "nlogn"
+    summation: str = "precomputed"
+    gmres: GMRESConfig = field(default_factory=GMRESConfig)
+    check_stability: bool = True
+    cond_threshold: float = 1e12
+    #: "full" stores every P^ block (O(sN log N) memory, fastest solves);
+    #: "low" keeps only leaf and frontier P^ (O(sN)) and re-telescopes the
+    #: internal ones per solve via eq. (10) — the paper's section III
+    #: memory-reduction scheme (O((d + s^2) N log N) work per solve,
+    #: still O(N log N)).
+    storage: str = "full"
+
+    _METHODS = ("nlogn", "nlog2n", "direct", "hybrid")
+
+    def __post_init__(self) -> None:
+        if self.method not in self._METHODS:
+            raise ConfigurationError(
+                f"method must be one of {self._METHODS}; got {self.method!r}"
+            )
+        if self.summation not in ("precomputed", "reevaluate", "fused"):
+            raise ConfigurationError(
+                f"summation must be precomputed|reevaluate|fused; got {self.summation!r}"
+            )
+        if self.cond_threshold <= 1:
+            raise ConfigurationError("cond_threshold must be > 1")
+        if self.storage not in ("full", "low"):
+            raise ConfigurationError(
+                f"storage must be 'full' or 'low'; got {self.storage!r}"
+            )
+        if self.storage == "low" and self.method == "nlog2n":
+            raise ConfigurationError(
+                "low-storage mode requires the telescoping methods "
+                "(the [36] recursion cannot re-derive P^ cheaply)"
+            )

@@ -1,0 +1,5 @@
+"""Public facade of the solver pipeline."""
+
+from repro.core.solver import FastKernelSolver, SolveInfo
+
+__all__ = ["FastKernelSolver", "SolveInfo"]

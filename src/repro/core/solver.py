@@ -1,0 +1,219 @@
+"""FastKernelSolver: the one-stop public API.
+
+Mirrors the paper's pipeline — tree construction, skeletonization
+(Algorithm II.1), factorization (Algorithm II.2 / II.4 / hybrid II.6),
+solve (Algorithm II.3 / II.5) — behind a scikit-learn-flavoured
+interface, handling the tree permutation so callers work entirely in
+their own point order::
+
+    solver = FastKernelSolver(GaussianKernel(bandwidth=0.5))
+    solver.fit(X)                      # tree + skeletons (ASKIT)
+    solver.factorize(lam=1.0)          # lambda I + K~  =  L U ...
+    w = solver.solve(u)                # (lambda I + K~)^{-1} u
+    v = solver.matvec(u)               # K~ u (fast treecode product)
+
+``factorize`` may be called repeatedly with different ``lam`` — the
+cross-validation loop the paper optimizes for — without re-running the
+(shared) skeletonization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import NotFactorizedError, NotSkeletonizedError
+from repro.hmatrix.errors import estimate_matrix_error
+from repro.hmatrix.hmatrix import HMatrix, build_hmatrix
+from repro.kernels.base import Kernel
+from repro.kernels.gsks import gsks_matvec
+from repro.solvers.factorization import HierarchicalFactorization, factorize
+from repro.util.timing import StageTimes, Timer
+from repro.util.validation import check_points, check_vector
+
+__all__ = ["FastKernelSolver", "SolveInfo"]
+
+
+@dataclass
+class SolveInfo:
+    """Diagnostics returned by :meth:`FastKernelSolver.solve_with_info`."""
+
+    residual: float
+    gmres_iterations: int
+    stable: bool
+
+
+class FastKernelSolver:
+    """Fast direct solver for ``(lambda I + K) w = u`` on N points.
+
+    Parameters
+    ----------
+    kernel:
+        A :class:`repro.kernels.Kernel` (e.g. Gaussian with the
+        bandwidth ``h``).
+    tree_config, skeleton_config, solver_config:
+        See :mod:`repro.config`.  The solver method ("nlogn",
+        "nlog2n", "hybrid") and the summation strategy live in
+        ``solver_config``.
+
+    Attributes
+    ----------
+    times:
+        Stage wall-clock accumulator ("tree", "skeletonize",
+        "factorize", "solve") — the paper's ASKIT/Tf/Ts columns.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        tree_config: TreeConfig | None = None,
+        skeleton_config: SkeletonConfig | None = None,
+        solver_config: SolverConfig | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.tree_config = tree_config or TreeConfig()
+        self.skeleton_config = skeleton_config or SkeletonConfig()
+        self.solver_config = solver_config or SolverConfig()
+        self.hmatrix: HMatrix | None = None
+        self.factorization: HierarchicalFactorization | None = None
+        self.times = StageTimes()
+        self._X: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        self._require_fitted()
+        return self.hmatrix.n_points
+
+    def _require_fitted(self) -> None:
+        if self.hmatrix is None:
+            raise NotSkeletonizedError("call fit(X) first")
+
+    def _require_factorized(self) -> None:
+        self._require_fitted()
+        if self.factorization is None:
+            raise NotFactorizedError("call factorize(lam) first")
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "FastKernelSolver":
+        """Build the ball tree and skeletonize (the ASKIT phase)."""
+        X = check_points(X)
+        self._X = X
+        with Timer() as t:
+            self.hmatrix = build_hmatrix(
+                X,
+                self.kernel,
+                tree_config=self.tree_config,
+                skeleton_config=self.skeleton_config,
+                summation=self.solver_config.summation,
+            )
+        self.times.add("tree+skeletonize", t.elapsed)
+        self.factorization = None
+        return self
+
+    def factorize(self, lam: float = 0.0) -> "FastKernelSolver":
+        """Factorize ``lambda I + K~`` with the configured method."""
+        self._require_fitted()
+        with Timer() as t:
+            self.factorization = factorize(self.hmatrix, lam, self.solver_config)
+        self.times.add("factorize", t.elapsed)
+        return self
+
+    # ------------------------------------------------------------------
+    def _to_tree(self, u: np.ndarray) -> np.ndarray:
+        return u[self.hmatrix.tree.perm]
+
+    def _from_tree(self, w: np.ndarray) -> np.ndarray:
+        out = np.empty_like(w)
+        out[self.hmatrix.tree.perm] = w
+        return out
+
+    def solve(self, u: np.ndarray) -> np.ndarray:
+        """``w = (lambda I + K~)^{-1} u`` in the caller's point order.
+
+        ``u`` may be (N,) or (N, k) for multiple right-hand sides.
+        """
+        self._require_factorized()
+        u = check_vector(u, self.n_points)
+        with Timer() as t:
+            w = self.factorization.solve(self._to_tree(u))
+        self.times.add("solve", t.elapsed)
+        return self._from_tree(w)
+
+    def solve_with_info(self, u: np.ndarray) -> tuple[np.ndarray, SolveInfo]:
+        """Like :meth:`solve`, plus residual/iteration diagnostics."""
+        self._require_factorized()
+        fact = self.factorization
+        before = len(fact.reduced_iterations)
+        w = self.solve(u)
+        u_tree = self._to_tree(check_vector(u, self.n_points))
+        info = SolveInfo(
+            residual=fact.residual(u_tree, self._to_tree(w)),
+            gmres_iterations=sum(fact.reduced_iterations[before:]),
+            stable=fact.stability.is_stable,
+        )
+        return w, info
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Fast product ``K~ u`` (the ASKIT treecode evaluation)."""
+        self._require_fitted()
+        u = check_vector(u, self.n_points)
+        return self._from_tree(self.hmatrix.matvec(self._to_tree(u)))
+
+    def regularized_matvec(self, lam: float, u: np.ndarray) -> np.ndarray:
+        """``(lambda I + K~) u`` in the caller's order."""
+        return self.matvec(u) + lam * np.asarray(u, dtype=np.float64)
+
+    def slogdet(self) -> tuple[float, float]:
+        """Sign and log|det| of the factorized ``lambda I + K~``.
+
+        O(N log N): the determinant telescopes out of the leaf and
+        reduced-system LU factors (direct methods only).
+        """
+        self._require_factorized()
+        return self.factorization.slogdet()
+
+    def residual(self, u: np.ndarray, w: np.ndarray) -> float:
+        """Relative residual ``||u - (lambda I + K~) w|| / ||u||``."""
+        self._require_factorized()
+        return self.factorization.residual(
+            self._to_tree(check_vector(u, self.n_points)),
+            self._to_tree(check_vector(w, self.n_points)),
+        )
+
+    def predict_matvec(self, X_new: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Out-of-sample products ``K(X_new, X_train) w`` (GSKS path)."""
+        self._require_fitted()
+        X_new = check_points(X_new, "X_new")
+        w = check_vector(w, self.n_points, "w")
+        return gsks_matvec(self.kernel, X_new, self._X, w)
+
+    # ------------------------------------------------------------------
+    def approximation_error(self, n_probes: int = 8, seed: int | None = 0) -> float:
+        """Randomized estimate of ``||K - K~|| / ||K||``."""
+        self._require_fitted()
+        return estimate_matrix_error(self.hmatrix, n_probes=n_probes, seed=seed)
+
+    def diagnostics(self) -> dict:
+        """Structured summary: ranks, frontier, storage, stability."""
+        self._require_fitted()
+        h = self.hmatrix
+        ranks = [sk.rank for sk in h.skeletons.skeletons.values()]
+        out = {
+            "n_points": h.n_points,
+            "depth": h.tree.depth,
+            "frontier_size": len(h.frontier),
+            "frontier_level": h.frontier[0].level if h.frontier else 0,
+            "max_rank": max(ranks) if ranks else 0,
+            "mean_rank": float(np.mean(ranks)) if ranks else 0.0,
+            "reduced_size": h.skeletons.total_frontier_rank() if ranks else 0,
+            "hmatrix_storage_words": h.storage_words(),
+        }
+        if self.factorization is not None:
+            out["factor_storage_words"] = self.factorization.storage_words()
+            out["min_rcond"] = self.factorization.stability.min_rcond
+            out["stable"] = self.factorization.stability.is_stable
+        return out

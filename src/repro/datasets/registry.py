@@ -1,0 +1,32 @@
+"""Dataset registry: names, loaders, and the paper's Table II parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.standins import _SPECS, Dataset, make_standin
+
+__all__ = ["DATASET_NAMES", "load_dataset", "paper_parameters"]
+
+#: All dataset names from Table II.
+DATASET_NAMES: tuple[str, ...] = tuple(sorted(_SPECS))
+
+
+def load_dataset(
+    name: str,
+    n_train: int = 4096,
+    *,
+    n_test: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Load (generate) a stand-in dataset by Table II name."""
+    return make_standin(name, n_train, n_test=n_test, seed=seed)
+
+
+def paper_parameters(name: str) -> dict:
+    """Table II row for ``name``: d, h, lambda, paper N, paper accuracy."""
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_SPECS)}")
+    d, h, lam, paper_n, paper_acc, _kind, _opts = _SPECS[key]
+    return {"d": d, "h": h, "lam": lam, "paper_n": paper_n, "paper_acc": paper_acc}

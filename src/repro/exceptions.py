@@ -1,0 +1,68 @@
+"""Exception and warning types for :mod:`repro`.
+
+The solver distinguishes *usage* errors (bad arguments, calling ``solve``
+before ``factorize``) from *numerical* conditions detected at runtime
+(ill-conditioned diagonal blocks, per paper section III).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFactorizedError",
+    "NotSkeletonizedError",
+    "ConfigurationError",
+    "StabilityError",
+    "StabilityWarning",
+    "ConvergenceWarning",
+    "CommunicatorError",
+    "DeadlockError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied."""
+
+
+class NotSkeletonizedError(ReproError, RuntimeError):
+    """An operation required skeletons that have not been computed."""
+
+
+class NotFactorizedError(ReproError, RuntimeError):
+    """``solve`` was called before ``factorize``."""
+
+
+class StabilityError(ReproError, ArithmeticError):
+    """The factorization is numerically unstable beyond recovery.
+
+    Raised when a diagonal block or reduced system is singular to working
+    precision.  Paper section III: with a small regularization ``lambda``
+    and a narrow bandwidth ``h``, ``lambda*I + D`` can become poorly
+    conditioned even when ``lambda*I + K`` is fine; the method can detect
+    but not repair this while staying log-linear.
+    """
+
+
+class StabilityWarning(UserWarning):
+    """A diagonal block or reduced system is ill-conditioned.
+
+    The factorization proceeds, but the computed solution may be
+    inaccurate.  Mirrors the detection behaviour described for
+    experiment #30 in the paper.
+    """
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solve stopped before reaching its tolerance."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the virtual MPI communicator API."""
+
+
+class DeadlockError(CommunicatorError):
+    """A virtual MPI operation timed out waiting for a peer."""

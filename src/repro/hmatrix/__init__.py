@@ -1,0 +1,29 @@
+"""Hierarchical (ASKIT) representation of the kernel matrix.
+
+:class:`HMatrix` pins down *exactly* which approximate matrix ``K~``
+the library works with:
+
+* leaf diagonal blocks are exact: ``K~_leaf = K_leaf``;
+* at every skeletonized internal node (at or below the frontier), the
+  sibling off-diagonal blocks are row-compressed through the target
+  node's telescoped skeleton basis: ``K_lr ~= P_{l l~} K_{l~ r}``
+  (paper eq. 6);
+* above the skeletonization frontier A, off-diagonal blocks between
+  frontier nodes f != g use f's skeleton against g's raw points:
+  ``K_fg ~= P_{f f~} K_{f~ g}`` (the coalesced ``W V`` of section II-C).
+
+The direct factorization inverts this K~ *exactly* (up to roundoff), so
+``HMatrix.to_dense`` is the ground truth every solver test compares
+against, and ``HMatrix.matvec`` is the fast O(s N log N) treecode
+evaluation used by the iterative baselines.
+"""
+
+from repro.hmatrix.hmatrix import HMatrix, build_hmatrix
+from repro.hmatrix.errors import estimate_matrix_error, estimate_largest_singular_value
+
+__all__ = [
+    "HMatrix",
+    "build_hmatrix",
+    "estimate_matrix_error",
+    "estimate_largest_singular_value",
+]

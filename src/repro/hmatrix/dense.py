@@ -1,0 +1,49 @@
+"""Dense assembly of K~ for validation (tests and small problems).
+
+Assembles, in tree order, exactly the matrix :class:`~repro.hmatrix.HMatrix`
+defines; the direct factorization must invert this matrix to roundoff.
+O(N^2) memory — only use for validation-scale N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmatrix.hmatrix import HMatrix
+from repro.tree.node import Node
+
+__all__ = ["assemble_dense", "assemble_dense_block"]
+
+
+def assemble_dense_block(h: HMatrix, node: Node) -> np.ndarray:
+    """Dense ``K~_{node,node}`` for a node at/below the frontier."""
+    tree = h.tree
+    if tree.is_leaf(node):
+        return np.array(h.leaf_block(node), copy=True)
+    left, right = tree.children(node)
+    nl = left.size
+    out = np.zeros((node.size, node.size))
+    out[:nl, :nl] = assemble_dense_block(h, left)
+    out[nl:, nl:] = assemble_dense_block(h, right)
+    Pl = h.skeletons.telescoped_basis(left)
+    Pr = h.skeletons.telescoped_basis(right)
+    out[:nl, nl:] = Pl @ h.sibling_block(left).to_dense()
+    out[nl:, :nl] = Pr @ h.sibling_block(right).to_dense()
+    return out
+
+
+def assemble_dense(h: HMatrix) -> np.ndarray:
+    """Dense K~ in tree order."""
+    n = h.n_points
+    out = np.zeros((n, n))
+    for f in h.frontier:
+        out[f.lo : f.hi, f.lo : f.hi] = assemble_dense_block(h, f)
+    if len(h.frontier) > 1:
+        for f in h.frontier:
+            sk = h.skeletons[f.id]
+            Pf = h.skeletons.telescoped_basis(f)
+            rows = h.kernel(h.tree.points[sk.skeleton], h.tree.points)
+            block = Pf @ rows
+            out[f.lo : f.hi, : f.lo] = block[:, : f.lo]
+            out[f.lo : f.hi, f.hi :] = block[:, f.hi :]
+    return out

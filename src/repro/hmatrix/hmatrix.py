@@ -1,0 +1,341 @@
+"""The hierarchical kernel matrix K~ (tree + skeletons + evaluation).
+
+All vectors here live in *tree order* (the ball tree's permutation);
+the :class:`~repro.core.solver.FastKernelSolver` facade translates to
+and from user order.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.kernels.base import Kernel
+from repro.kernels.gsks import GSKSWorkspace
+from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.sampling.neighbors import NeighborTable
+from repro.skeleton.skeletonize import SkeletonSet, skeletonize
+from repro.tree.balltree import BallTree
+from repro.tree.node import Node
+from repro.util.flops import count_flops
+from repro.util.validation import check_points, check_vector
+
+__all__ = ["HMatrix", "build_hmatrix"]
+
+
+class HMatrix:
+    """ASKIT approximation ``K~`` of the kernel matrix over a ball tree.
+
+    Parameters
+    ----------
+    tree:
+        Built ball tree.
+    kernel:
+        Kernel function.
+    skeletons:
+        :class:`SkeletonSet` from :func:`repro.skeleton.skeletonize`.
+    summation:
+        Strategy for off-diagonal skeleton-row blocks during matvec
+        ("precomputed" stores them, "fused"/"reevaluate" are
+        matrix-free; paper section II-D).
+    """
+
+    def __init__(
+        self,
+        tree: BallTree,
+        kernel: Kernel,
+        skeletons: SkeletonSet,
+        *,
+        summation: str | SummationMethod = SummationMethod.PRECOMPUTED,
+    ) -> None:
+        self.tree = tree
+        self.kernel = kernel
+        self.skeletons = skeletons
+        self.summation = SummationMethod(summation)
+        self.frontier: list[Node] = skeletons.frontier()
+        self._frontier_ids = {f.id for f in self.frontier}
+        self._below: list[Node] = self._nodes_at_or_below_frontier()
+        self._workspace = GSKSWorkspace()
+        # lazy caches; the lock makes them safe under the task-parallel
+        # factorization executor (repro.parallel.taskdag).
+        self._cache_lock = threading.Lock()
+        self._sibling_blocks: dict[int, KernelSummation] = {}
+        self._frontier_blocks: dict[int, KernelSummation] = {}
+        self._leaf_blocks: dict[int, np.ndarray] = {}
+
+    # -- pickling: locks are not picklable; recreate on load -------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = self.tree.n_points
+        return (n, n)
+
+    @property
+    def n_points(self) -> int:
+        return self.tree.n_points
+
+    def _nodes_at_or_below_frontier(self) -> list[Node]:
+        out: list[Node] = []
+        stack = list(self.frontier)
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if not self.tree.is_leaf(node):
+                left, right = self.tree.children(node)
+                stack.extend((left, right))
+        return out
+
+    # -- cached blocks ---------------------------------------------------
+    def leaf_block(self, leaf: Node) -> np.ndarray:
+        """Exact dense diagonal block of a leaf."""
+        block = self._leaf_blocks.get(leaf.id)
+        if block is None:
+            pts = self.tree.node_points(leaf)
+            block = self.kernel(pts, pts)
+            with self._cache_lock:
+                block = self._leaf_blocks.setdefault(leaf.id, block)
+        return block
+
+    def sibling_block(self, child: Node) -> KernelSummation:
+        """``K_{c~ sib(c)}`` — child-skeleton rows vs raw sibling points.
+
+        ``child`` must be a child of a skeletonized (or frontier) node.
+        """
+        ks = self._sibling_blocks.get(child.id)
+        if ks is None:
+            sk = self.skeletons[child.id]
+            sib = self.tree.node(child.sibling_id)
+            ks = KernelSummation(
+                self.kernel,
+                self.tree.points[sk.skeleton],
+                self.tree.node_points(sib),
+                self.summation,
+                workspace=self._workspace,
+            )
+            with self._cache_lock:
+                ks = self._sibling_blocks.setdefault(child.id, ks)
+        return ks
+
+    def frontier_row_block(self, f: Node) -> KernelSummation:
+        """``K_{f~ X}`` — frontier-skeleton rows against *all* points.
+
+        Used by the coalesced above-frontier correction; the own-block
+        part is subtracted by the caller.
+        """
+        ks = self._frontier_blocks.get(f.id)
+        if ks is None:
+            sk = self.skeletons[f.id]
+            ks = KernelSummation(
+                self.kernel,
+                self.tree.points[sk.skeleton],
+                self.tree.points,
+                self.summation,
+                workspace=self._workspace,
+            )
+            with self._cache_lock:
+                ks = self._frontier_blocks.setdefault(f.id, ks)
+        return ks
+
+    # ------------------------------------------------------------------
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Fast product ``K~ @ u`` in O(s N log N) (tree order).
+
+        Accepts shape (N,) or (N, k).
+        """
+        u = check_vector(u, self.n_points)
+        single = u.ndim == 1
+        U = u[:, None] if single else u
+        tree = self.tree
+        sset = self.skeletons
+
+        # skeleton-space accumulators z_alpha (s_alpha, k).
+        z: dict[int, np.ndarray] = {}
+
+        def zadd(node_id: int, contrib: np.ndarray) -> None:
+            acc = z.get(node_id)
+            if acc is None:
+                z[node_id] = contrib.copy()
+            else:
+                acc += contrib
+
+        # 1) exact leaf diagonal blocks.
+        w = np.zeros_like(U)
+        for leaf in tree.leaves():
+            if not sset.is_skeletonized(leaf.id) and tree.depth > 0:
+                continue  # unreachable by construction; defensive.
+            block = self.leaf_block(leaf)
+            w[leaf.lo : leaf.hi] = block @ U[leaf.lo : leaf.hi]
+            count_flops(2 * block.size * U.shape[1], label="matvec_leaf")
+        if tree.depth == 0:
+            return w[:, 0] if single else w
+
+        # 2) sibling interactions below (and at) the frontier.
+        for node in self._below:
+            if tree.is_leaf(node):
+                continue
+            left, right = tree.children(node)
+            zadd(left.id, self.sibling_block(left).matvec(U[right.lo : right.hi]))
+            zadd(right.id, self.sibling_block(right).matvec(U[left.lo : left.hi]))
+
+        # 3) coalesced correction above the frontier:
+        #    z_f += K_{f~ X} u - K_{f~ f} u_f.
+        if len(self.frontier) > 1:
+            for f in self.frontier:
+                full = self.frontier_row_block(f).matvec(U)
+                sk = self.skeletons[f.id]
+                own = KernelSummation(
+                    self.kernel,
+                    self.tree.points[sk.skeleton],
+                    self.tree.node_points(f),
+                    SummationMethod.FUSED,
+                    workspace=self._workspace,
+                ).matvec(U[f.lo : f.hi])
+                zadd(f.id, full - own)
+
+        # 4) push skeleton-space contributions down through P^T.
+        for node in self._topdown_below():
+            acc = z.get(node.id)
+            if acc is None:
+                continue
+            sk = sset[node.id]
+            if tree.is_leaf(node):
+                w[node.lo : node.hi] += sk.proj.T @ acc
+                count_flops(2 * sk.proj.size * U.shape[1], label="matvec_down")
+            else:
+                left, right = tree.children(node)
+                sl = sset[left.id].rank
+                zadd(left.id, sk.proj[:, :sl].T @ acc)
+                zadd(right.id, sk.proj[:, sl:].T @ acc)
+                count_flops(2 * sk.proj.size * U.shape[1], label="matvec_down")
+        return w[:, 0] if single else w
+
+    def _topdown_below(self):
+        """Nodes at/below the frontier, parents before children."""
+        return sorted(self._below, key=lambda n: n.level)
+
+    # ------------------------------------------------------------------
+    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+        """Transpose product ``K~^T @ u`` in O(s N log N) (tree order).
+
+        K~ is mildly nonsymmetric (target-side row compression), so the
+        adjoint is a distinct operation: transposing
+        ``K_lr ~= P_{l l~} K_{l~ r}`` gives *source-side* compression
+        ``K~^T_{rl} = K_{r l~} P_{l~ l}`` — the classic treecode shape
+        with an *upward* pass accumulating skeleton weights
+        ``z_alpha = P_{alpha~ alpha} u_alpha`` (telescoped through the
+        children) followed by skeleton-row transposed products.
+        """
+        u = check_vector(u, self.n_points)
+        single = u.ndim == 1
+        U = u[:, None] if single else u
+        tree = self.tree
+        sset = self.skeletons
+
+        w = np.zeros_like(U)
+        for leaf in tree.leaves():
+            block = self.leaf_block(leaf)
+            w[leaf.lo : leaf.hi] = block.T @ U[leaf.lo : leaf.hi]
+            count_flops(2 * block.size * U.shape[1], label="rmatvec_leaf")
+        if tree.depth == 0:
+            return w[:, 0] if single else w
+
+        # upward pass: skeleton weights z_alpha = P_{alpha~ alpha} u_alpha,
+        # telescoped from the children (leaves first).
+        z: dict[int, np.ndarray] = {}
+        for node in sorted(self._below, key=lambda n: -n.level):
+            sk = sset[node.id]
+            if tree.is_leaf(node):
+                z[node.id] = sk.proj @ U[node.lo : node.hi]
+            else:
+                left, right = tree.children(node)
+                z[node.id] = sk.proj @ np.concatenate(
+                    [z[left.id], z[right.id]], axis=0
+                )
+            count_flops(2 * sk.proj.size * U.shape[1], label="rmatvec_up")
+
+        # sibling interactions, transposed: w_r += K_{l~ r}^T z_l.
+        for node in self._below:
+            if tree.is_leaf(node):
+                continue
+            left, right = tree.children(node)
+            w[right.lo : right.hi] += self.sibling_block(left).rmatvec(z[left.id])
+            w[left.lo : left.hi] += self.sibling_block(right).rmatvec(z[right.id])
+
+        # above the frontier: w += sum_f K_{f~ X}^T z_f minus own blocks.
+        if len(self.frontier) > 1:
+            for f in self.frontier:
+                zf = z[f.id]
+                w += self.frontier_row_block(f).rmatvec(zf)
+                own = KernelSummation(
+                    self.kernel,
+                    self.tree.points[sset[f.id].skeleton],
+                    self.tree.node_points(f),
+                    SummationMethod.FUSED,
+                    workspace=self._workspace,
+                ).rmatvec(zf)
+                w[f.lo : f.hi] -= own
+        return w[:, 0] if single else w
+
+    def as_linear_operator(self, lam: float = 0.0):
+        """``lambda I + K~`` as a :class:`scipy.sparse.linalg.LinearOperator`.
+
+        Exposes ``matvec`` and ``rmatvec``, so the hierarchical matrix
+        plugs directly into SciPy's iterative solvers and eigensolvers
+        (``gmres``, ``lsqr``, ``eigs``, ...).
+        """
+        from scipy.sparse.linalg import LinearOperator
+
+        n = self.n_points
+        return LinearOperator(
+            (n, n),
+            matvec=lambda v: self.matvec(v) + lam * np.asarray(v, dtype=np.float64),
+            rmatvec=lambda v: self.rmatvec(v) + lam * np.asarray(v, dtype=np.float64),
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize K~ (tree order) for validation.  O(N^2) memory."""
+        from repro.hmatrix.dense import assemble_dense
+
+        return assemble_dense(self)
+
+    def regularized_matvec(self, lam: float, u: np.ndarray) -> np.ndarray:
+        """``(lambda I + K~) u`` — the operator the solvers invert."""
+        return self.matvec(u) + lam * np.asarray(u, dtype=np.float64)
+
+    def storage_words(self) -> int:
+        """Persistent float64 words held by cached blocks (memory study)."""
+        total = sum(b.size for b in self._leaf_blocks.values())
+        total += sum(b.storage_words for b in self._sibling_blocks.values())
+        total += sum(b.storage_words for b in self._frontier_blocks.values())
+        for sk in self.skeletons.skeletons.values():
+            total += sk.proj.size
+        return total
+
+
+def build_hmatrix(
+    X: np.ndarray,
+    kernel: Kernel,
+    *,
+    tree_config: TreeConfig | None = None,
+    skeleton_config: SkeletonConfig | None = None,
+    neighbors: NeighborTable | None = None,
+    summation: str | SummationMethod = SummationMethod.PRECOMPUTED,
+) -> HMatrix:
+    """Convenience constructor: tree + skeletonization + HMatrix."""
+    X = check_points(X)
+    tree = BallTree(X, tree_config)
+    sset = skeletonize(tree, kernel, skeleton_config, neighbors=neighbors)
+    return HMatrix(tree, kernel, sset, summation=summation)

@@ -1,0 +1,50 @@
+"""Kernel functions and kernel summation (paper sections I, II-D).
+
+Provides the kernel zoo ASKIT has been applied to (Gaussian, Laplacian,
+Matern, polynomial), blocked pairwise-distance computation, and the
+GSKS-style fused matrix-free kernel summation with FLOP/MOP accounting.
+"""
+
+from repro.kernels.base import Kernel
+from repro.kernels.gaussian import GaussianKernel
+from repro.kernels.laplacian import LaplacianKernel
+from repro.kernels.matern import MaternKernel
+from repro.kernels.polynomial import PolynomialKernel
+from repro.kernels.distances import pairwise_sq_dists
+from repro.kernels.gsks import gsks_matvec, GSKSWorkspace
+from repro.kernels.summation import SummationMethod, KernelSummation
+
+__all__ = [
+    "Kernel",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "MaternKernel",
+    "PolynomialKernel",
+    "pairwise_sq_dists",
+    "gsks_matvec",
+    "GSKSWorkspace",
+    "SummationMethod",
+    "KernelSummation",
+    "kernel_by_name",
+]
+
+
+def kernel_by_name(name: str, **params) -> Kernel:
+    """Construct a kernel from its string name.
+
+    Parameters are forwarded to the kernel constructor, e.g.
+    ``kernel_by_name("gaussian", bandwidth=0.5)``.
+    """
+    registry = {
+        "gaussian": GaussianKernel,
+        "laplacian": LaplacianKernel,
+        "matern": MaternKernel,
+        "polynomial": PolynomialKernel,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,99 @@
+"""Kernel function interface.
+
+A :class:`Kernel` maps two point sets to the dense matrix of pairwise
+kernel values, ``K[i, j] = K(XA[i], XB[j])``, evaluated in ``O(d)`` per
+entry.  Subclasses implement :meth:`_apply` on a squared-distance (or
+inner-product) block; the base class handles distance computation,
+workspace reuse, and FLOP/kernel-evaluation accounting so every
+evaluation path in the library is instrumented consistently.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.kernels.distances import pairwise_sq_dists, sq_norms
+from repro.util.flops import count_flops, count_kernel_evals
+
+__all__ = ["Kernel"]
+
+
+class Kernel(abc.ABC):
+    """Abstract base class for kernel functions.
+
+    Subclasses define:
+
+    * :attr:`uses_distances` — whether :meth:`_apply` consumes squared
+      distances (RBF-type kernels) or raw inner products (polynomial).
+    * :meth:`_apply` — in-place elementwise transform of the block.
+    * :attr:`flops_per_entry` — modeled cost of one kernel evaluation,
+      used by the performance model (the rank-d update is charged
+      separately by the distance routine).
+    """
+
+    #: if True, _apply receives squared distances; else inner products.
+    uses_distances: bool = True
+
+    #: modeled elementwise cost (flops per kernel entry past the GEMM).
+    flops_per_entry: int = 1
+
+    @abc.abstractmethod
+    def _apply(self, block: np.ndarray) -> np.ndarray:
+        """Transform a block of squared distances / inner products in place."""
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        XA: np.ndarray,
+        XB: np.ndarray,
+        *,
+        norms_a: np.ndarray | None = None,
+        norms_b: np.ndarray | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Dense kernel block ``K(XA, XB)`` of shape (len(XA), len(XB)).
+
+        ``norms_a``/``norms_b`` are optional precomputed squared norms
+        (ignored for inner-product kernels); ``out`` is an optional
+        preallocated workspace of the right shape.
+        """
+        XA = np.atleast_2d(np.asarray(XA, dtype=np.float64))
+        XB = np.atleast_2d(np.asarray(XB, dtype=np.float64))
+        m, n = XA.shape[0], XB.shape[0]
+        if self.uses_distances:
+            block = pairwise_sq_dists(
+                XA, XB, norms_a=norms_a, norms_b=norms_b, out=out
+            )
+        else:
+            if out is None:
+                block = XA @ XB.T
+            else:
+                np.matmul(XA, XB.T, out=out)
+                block = out
+            count_flops(2 * m * n * XA.shape[1], label="kernel_gemm")
+        block = self._apply(block)
+        count_flops(self.flops_per_entry * m * n, label="kernel_elementwise")
+        count_kernel_evals(m * n)
+        return block
+
+    # ------------------------------------------------------------------
+    def diag_value(self) -> float:
+        """Value of K(x, x) (constant for stationary kernels)."""
+        z = np.zeros((1, 1))
+        if self.uses_distances:
+            return float(self._apply(z.copy())[0, 0])
+        return float(self._apply(z.copy())[0, 0])
+
+    def prepare_norms(self, X: np.ndarray) -> np.ndarray | None:
+        """Precompute whatever per-point data speeds up blocked eval."""
+        if self.uses_distances:
+            return sq_norms(np.asarray(X, dtype=np.float64))
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items())
+        )
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,68 @@
+"""Blocked pairwise squared Euclidean distances.
+
+The rank-d update ``-2 X_A X_B^T`` plus squared-norm broadcasts is the
+"semi-ring GEMM" at the heart of GSKS (paper section II-D).  We expose it
+as a standalone routine because both the dense kernel evaluation and the
+tiled matrix-free summation are built on it, and because it carries the
+FLOP accounting for the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.flops import count_flops
+
+__all__ = ["pairwise_sq_dists", "sq_norms"]
+
+
+def sq_norms(X: np.ndarray) -> np.ndarray:
+    """Row-wise squared 2-norms of an (n, d) matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    count_flops(2 * X.shape[0] * X.shape[1], label="sqnorm")
+    return np.einsum("ij,ij->i", X, X)
+
+
+def pairwise_sq_dists(
+    XA: np.ndarray,
+    XB: np.ndarray,
+    *,
+    norms_a: np.ndarray | None = None,
+    norms_b: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Squared distances ``D2[i, j] = ||XA[i] - XB[j]||^2``.
+
+    Uses the expansion ``||a||^2 - 2 a.b + ||b||^2`` (a rank-d update),
+    clamping tiny negative values arising from cancellation to zero.
+    Precomputed squared norms may be passed to avoid recomputation in
+    tiled loops; ``out`` allows reuse of an (m, n) workspace.
+    """
+    XA = np.asarray(XA, dtype=np.float64)
+    XB = np.asarray(XB, dtype=np.float64)
+    if XA.ndim != 2 or XB.ndim != 2 or XA.shape[1] != XB.shape[1]:
+        raise ValueError(
+            f"incompatible point blocks: {XA.shape} vs {XB.shape}"
+        )
+    m, d = XA.shape
+    n = XB.shape[0]
+    if norms_a is None:
+        norms_a = sq_norms(XA)
+    if norms_b is None:
+        norms_b = sq_norms(XB)
+
+    if out is None:
+        D2 = XA @ XB.T
+        D2 *= -2.0
+    else:
+        if out.shape != (m, n):
+            raise ValueError(f"out has shape {out.shape}, expected {(m, n)}")
+        np.matmul(XA, XB.T, out=out)
+        out *= -2.0
+        D2 = out
+    # rank-d update: 2*m*n*d flops, plus the broadcast adds.
+    count_flops(2 * m * n * d + 3 * m * n, label="pairwise_sq_dists")
+    D2 += norms_a[:, None]
+    D2 += norms_b[None, :]
+    np.maximum(D2, 0.0, out=D2)
+    return D2

@@ -1,0 +1,35 @@
+"""Polynomial kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.util.validation import check_positive
+
+__all__ = ["PolynomialKernel"]
+
+
+class PolynomialKernel(Kernel):
+    r"""Polynomial kernel :math:`K(x, y) = (\gamma\, x\cdot y + c)^p`.
+
+    An inner-product (non-stationary) kernel; exercises the
+    ``uses_distances = False`` path of the summation machinery.
+    """
+
+    uses_distances = False
+    flops_per_entry = 4
+
+    def __init__(self, degree: int = 2, gamma: float = 1.0, coef0: float = 1.0) -> None:
+        check_positive(degree, "degree")
+        check_positive(gamma, "gamma")
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def _apply(self, block: np.ndarray) -> np.ndarray:
+        block *= self.gamma
+        block += self.coef0
+        if self.degree != 1:
+            np.power(block, self.degree, out=block)
+        return block

@@ -1,0 +1,142 @@
+"""Kernel-summation strategies (paper Table IV, section II-D).
+
+The solve phase repeatedly multiplies stored-or-implicit kernel blocks
+``K(XA, XB)`` with vectors.  The paper studies three realizations with
+different storage/time trade-offs; :class:`KernelSummation` implements
+all three behind one interface so the solver can switch by configuration:
+
+* ``PRECOMPUTED`` — store the dense block at construction, multiply with
+  GEMV.  O(m n) storage, fastest per solve.
+* ``REEVALUATE`` — store nothing; on every product, materialize the full
+  block with a GEMM-based evaluation and then multiply.  O(m n) transient
+  workspace, O(1) persistent storage, slowest (Table IV "GEMM" rows).
+* ``FUSED`` — GSKS tiles: O(tile) workspace, O(1) persistent storage,
+  within 1.2–1.6x of PRECOMPUTED per the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.gsks import GSKSWorkspace, gsks_matvec
+from repro.util.flops import count_flops, count_mops
+
+__all__ = ["SummationMethod", "KernelSummation"]
+
+
+class SummationMethod(str, enum.Enum):
+    """How ``K(XA, XB) @ u`` products are realized."""
+
+    PRECOMPUTED = "precomputed"
+    REEVALUATE = "reevaluate"
+    FUSED = "fused"
+
+
+class KernelSummation:
+    """A (possibly implicit) kernel block ``K(XA, XB)`` with matvec.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel function.
+    XA, XB:
+        Row/column point blocks.
+    method:
+        One of :class:`SummationMethod`.
+    workspace:
+        Shared :class:`GSKSWorkspace` for the FUSED method.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        XA: np.ndarray,
+        XB: np.ndarray,
+        method: SummationMethod | str = SummationMethod.PRECOMPUTED,
+        *,
+        workspace: GSKSWorkspace | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.XA = np.atleast_2d(np.asarray(XA, dtype=np.float64))
+        self.XB = np.atleast_2d(np.asarray(XB, dtype=np.float64))
+        self.method = SummationMethod(method)
+        self.shape = (self.XA.shape[0], self.XB.shape[0])
+        self._workspace = workspace
+        self._matrix: np.ndarray | None = None
+        self._norms_a = None
+        self._norms_b = None
+        if self.method is SummationMethod.PRECOMPUTED:
+            self._matrix = kernel(self.XA, self.XB)
+        elif self.method is SummationMethod.FUSED and kernel.uses_distances:
+            self._norms_a = np.einsum("ij,ij->i", self.XA, self.XA)
+            self._norms_b = np.einsum("ij,ij->i", self.XB, self.XB)
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_words(self) -> int:
+        """Persistent float64 words held by this block (paper's memory study)."""
+        if self._matrix is not None:
+            return self._matrix.size
+        extra = 0
+        if self._norms_a is not None:
+            extra = self._norms_a.size + self._norms_b.size
+        return extra
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Compute ``K(XA, XB) @ u`` with the configured strategy."""
+        m, n = self.shape
+        u = np.asarray(u, dtype=np.float64)
+        k = 1 if u.ndim == 1 else u.shape[1]
+        if self.method is SummationMethod.PRECOMPUTED:
+            count_flops(2 * m * n * k, label="summation_gemv")
+            # streams the stored matrix plus vectors.
+            count_mops(m * n + n * k + m * k)
+            return self._matrix @ u
+        if self.method is SummationMethod.REEVALUATE:
+            K = self.kernel(self.XA, self.XB)
+            count_flops(2 * m * n * k, label="summation_gemv")
+            # the materialized block is written out and read back.
+            count_mops(2 * m * n + m * self.XA.shape[1] + n * self.XB.shape[1] + n * k + m * k)
+            return K @ u
+        return gsks_matvec(
+            self.kernel,
+            self.XA,
+            self.XB,
+            u,
+            workspace=self._workspace,
+            norms_a=self._norms_a,
+            norms_b=self._norms_b,
+        )
+
+    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+        """Compute ``K(XA, XB).T @ u == K(XB, XA) @ u`` (symmetric kernels)."""
+        m, n = self.shape
+        u = np.asarray(u, dtype=np.float64)
+        k = 1 if u.ndim == 1 else u.shape[1]
+        if self.method is SummationMethod.PRECOMPUTED:
+            count_flops(2 * m * n * k, label="summation_gemv")
+            count_mops(m * n + n * k + m * k)
+            return self._matrix.T @ u
+        if self.method is SummationMethod.REEVALUATE:
+            K = self.kernel(self.XB, self.XA)
+            count_flops(2 * m * n * k, label="summation_gemv")
+            count_mops(2 * m * n + m * self.XA.shape[1] + n * self.XB.shape[1] + n * k + m * k)
+            return K @ u
+        return gsks_matvec(
+            self.kernel,
+            self.XB,
+            self.XA,
+            u,
+            workspace=self._workspace,
+            norms_a=self._norms_b,
+            norms_b=self._norms_a,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the block (for testing / dense assembly)."""
+        if self._matrix is not None:
+            return self._matrix
+        return self.kernel(self.XA, self.XB)

@@ -1,0 +1,27 @@
+"""Kernel ridge regression / binary classification (paper section IV).
+
+The paper's learning task: train ``w = (lambda I + K~)^{-1} u`` on the
+labels ``u``, predict ``sign(K(x, X) w)`` for unseen points, and pick
+``h``/``lambda`` by holdout cross-validation.
+"""
+
+from repro.learning.ridge import KernelRidgeClassifier, KernelRidgeRegressor
+from repro.learning.crossval import CrossValResult, holdout_cross_validation
+from repro.learning.gp import GaussianProcessRegressor, GPResult
+from repro.learning.bandwidth import median_heuristic, bandwidth_grid
+from repro.learning.multiclass import OneVsAllClassifier
+from repro.learning.metrics import accuracy, relative_residual
+
+__all__ = [
+    "KernelRidgeClassifier",
+    "KernelRidgeRegressor",
+    "GaussianProcessRegressor",
+    "GPResult",
+    "median_heuristic",
+    "bandwidth_grid",
+    "OneVsAllClassifier",
+    "CrossValResult",
+    "holdout_cross_validation",
+    "accuracy",
+    "relative_residual",
+]

@@ -1,0 +1,30 @@
+"""Evaluation metrics used by the paper's experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "relative_residual"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct sign predictions (Table II's "Acc")."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(np.sign(y_true) == np.sign(y_pred)))
+
+
+def relative_residual(
+    u: np.ndarray, applied: np.ndarray
+) -> float:
+    """``||u - applied|| / ||u||`` — eq. (15) with ``applied = (lamI+K~)w``."""
+    u = np.asarray(u, dtype=np.float64)
+    r = float(np.linalg.norm(u - np.asarray(applied, dtype=np.float64)))
+    un = float(np.linalg.norm(u))
+    return r / un if un > 0 else r

@@ -1,0 +1,246 @@
+"""Distributed hybrid solver (Algorithms II.6-II.8).
+
+The paper's hybrid method for level-restricted problems, distributed:
+each rank owns the subtree at level ``log p`` containing its point
+slice and factorizes it up to the skeletonization frontier (which must
+lie at or below level ``log p``); the coalesced reduced system
+``(I + V W^)`` is solved by GMRES with *matrix-free distributed*
+operators:
+
+* ``MatVecW`` (Algorithm II.7) is embarrassingly local — every frontier
+  node lives inside one rank's subtree, so ``W^ y`` touches only local
+  ``P^`` blocks;
+* ``MatVecV`` (Algorithm II.8) partitions by *columns*: each rank
+  multiplies every frontier skeleton-row block against its own point
+  slice and the results are AllReduce-summed, exactly the reduction the
+  paper describes ("an AllReduce is required at the end such that all
+  MPI ranks get the same output").
+
+GMRES itself runs redundantly on every rank (identical deterministic
+arithmetic on identical reduced vectors), the standard practice for
+small reduced systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import GMRESConfig, SolverConfig
+from repro.exceptions import ConfigurationError
+from repro.hmatrix.hmatrix import HMatrix
+from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.parallel.vmpi import CommStats, Communicator, run_spmd
+from repro.solvers.factorization import HierarchicalFactorization
+from repro.solvers.gmres import gmres
+from repro.tree.node import Node
+
+__all__ = ["DistributedHybrid", "distributed_hybrid_factorize", "distributed_hybrid_solve"]
+
+
+@dataclass
+class _HybridRankState:
+    """Per-rank retained state for the distributed hybrid method."""
+
+    rank: int
+    subtree_root_id: int
+    lo: int
+    hi: int
+    local: HierarchicalFactorization
+    #: frontier nodes inside my subtree, left to right.
+    my_frontier: list[Node]
+    #: all frontier nodes (metadata shared via allgather).
+    slices: dict[int, slice] = field(default_factory=dict)
+    reduced_size: int = 0
+    #: K_{S_all, x_mine}: every frontier skeleton row vs my point slice.
+    vcols: KernelSummation | None = None
+    #: K_{f~, f ^ mine}: own-block corrections for my frontier nodes.
+    own_blocks: dict[int, KernelSummation] = field(default_factory=dict)
+
+
+@dataclass
+class DistributedHybrid:
+    """Handle returned by :func:`distributed_hybrid_factorize`."""
+
+    hmatrix: HMatrix
+    lam: float
+    n_ranks: int
+    config: SolverConfig
+    states: list[_HybridRankState]
+    factor_stats: CommStats
+
+
+def _hybrid_factor_worker(
+    comm: Communicator, h: HMatrix, lam: float, config: SolverConfig
+) -> _HybridRankState:
+    tree = h.tree
+    n_levels = int(np.log2(comm.size))
+    subtree_root = tree.node((1 << n_levels) + comm.rank)
+
+    my_frontier = [
+        f for f in h.frontier if subtree_root.lo <= f.lo and f.hi <= subtree_root.hi
+    ]
+    covered = sum(f.size for f in my_frontier)
+    if covered != subtree_root.size:
+        raise ConfigurationError(
+            "distributed hybrid requires the skeletonization frontier at "
+            f"or below level log2(p) = {n_levels}; rank {comm.rank}'s "
+            "subtree is not fully covered by frontier nodes"
+        )
+
+    # local partial factorization: frontier subtrees inside my slice.
+    local = HierarchicalFactorization(h, lam, config)
+    order = []
+    stack = list(my_frontier)
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        if not tree.is_leaf(node):
+            stack.extend(tree.children(node))
+    for node in sorted(order, key=lambda n: -n.level):
+        if tree.is_leaf(node):
+            local._factor_leaf(node)
+        else:
+            local._factor_internal(node)
+    local._factored = True
+
+    state = _HybridRankState(
+        rank=comm.rank,
+        subtree_root_id=subtree_root.id,
+        lo=subtree_root.lo,
+        hi=subtree_root.hi,
+        local=local,
+        my_frontier=my_frontier,
+    )
+
+    # share frontier skeletons: (node_id, skeleton point coords, rank s).
+    mine = [
+        (f.id, h.tree.points[h.skeletons[f.id].skeleton], h.skeletons[f.id].rank)
+        for f in my_frontier
+    ]
+    everyone = comm.allgather(mine)
+    flat: list[tuple[int, np.ndarray, int]] = [
+        item for group in everyone for item in group
+    ]
+    flat.sort(key=lambda item: h.tree.node(item[0]).lo)
+
+    offset = 0
+    skel_stacks = []
+    for nid, coords, s in flat:
+        state.slices[nid] = slice(offset, offset + s)
+        skel_stacks.append(coords)
+        offset += s
+    state.reduced_size = offset
+
+    my_points = tree.points[subtree_root.lo : subtree_root.hi]
+    method = SummationMethod(config.summation)
+    state.vcols = KernelSummation(
+        h.kernel, np.vstack(skel_stacks), my_points, method
+    )
+    for f in my_frontier:
+        state.own_blocks[f.id] = KernelSummation(
+            h.kernel,
+            h.tree.points[h.skeletons[f.id].skeleton],
+            h.tree.node_points(f),
+            method,
+        )
+    return state
+
+
+def _apply_v_dist(
+    comm: Communicator, state: _HybridRankState, x_mine: np.ndarray
+) -> np.ndarray:
+    """Algorithm II.8: V x with column-partitioned blocks + AllReduce."""
+    t_local = state.vcols.matvec(x_mine)
+    # remove the diagonal (own-node) contributions for my frontier nodes.
+    for f in state.my_frontier:
+        t_local[state.slices[f.id]] -= state.own_blocks[f.id].matvec(
+            x_mine[f.lo - state.lo : f.hi - state.lo]
+        )
+    return comm.allreduce(t_local)
+
+
+def _apply_what_local(state: _HybridRankState, y: np.ndarray) -> np.ndarray:
+    """Algorithm II.7: W^ y restricted to my point slice (purely local)."""
+    w = np.zeros(state.hi - state.lo)
+    for f in state.my_frontier:
+        phat = state.local._phat(f)
+        w[f.lo - state.lo : f.hi - state.lo] = phat @ y[state.slices[f.id]]
+    return w
+
+
+def _hybrid_solve_worker(
+    comm: Communicator, dist: DistributedHybrid, u: np.ndarray
+) -> np.ndarray:
+    state = dist.states[comm.rank]
+    tree = dist.hmatrix.tree
+    u_mine = u[state.lo : state.hi]
+
+    # D^{-1} u on my frontier subtrees (DistSolve's local case).
+    x0 = np.empty_like(u_mine)
+    for f in state.my_frontier:
+        x0[f.lo - state.lo : f.hi - state.lo] = state.local.solve_subtree(
+            f, u_mine[f.lo - state.lo : f.hi - state.lo]
+        )
+
+    t = _apply_v_dist(comm, state, x0)
+
+    # redundant GMRES on the reduced system; the operator's only
+    # communication is the AllReduce inside MatVecV, entered in lockstep
+    # by every rank.
+    def reduced_matvec(y: np.ndarray) -> np.ndarray:
+        w_mine = _apply_what_local(state, y)
+        return y + _apply_v_dist(comm, state, w_mine)
+
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        res = gmres(reduced_matvec, t, dist.config.gmres)
+
+    return x0 - _apply_what_local(state, res.x)
+
+
+def distributed_hybrid_factorize(
+    hmatrix: HMatrix,
+    lam: float = 0.0,
+    n_ranks: int = 2,
+    config: SolverConfig | None = None,
+) -> DistributedHybrid:
+    """Distributed partial factorization up to the frontier.
+
+    Requires ``n_ranks`` a power of two with ``log2(n_ranks)`` at or
+    above... strictly: the frontier must sit at or below level
+    ``log2(n_ranks)`` so every frontier subtree is rank-local (the
+    paper's Figure 2 layout).
+    """
+    config = config or SolverConfig(method="hybrid")
+    if config.method != "hybrid":
+        raise ConfigurationError(
+            f"distributed hybrid requires method='hybrid'; got {config.method!r}"
+        )
+    if n_ranks < 1 or (n_ranks & (n_ranks - 1)) != 0:
+        raise ConfigurationError(f"n_ranks must be a power of two; got {n_ranks}")
+    if n_ranks > (1 << hmatrix.tree.depth):
+        raise ConfigurationError("n_ranks exceeds the number of subtrees")
+    states, stats = run_spmd(_hybrid_factor_worker, n_ranks, hmatrix, lam, config)
+    return DistributedHybrid(
+        hmatrix=hmatrix,
+        lam=lam,
+        n_ranks=n_ranks,
+        config=config,
+        states=list(states),
+        factor_stats=stats,
+    )
+
+
+def distributed_hybrid_solve(
+    dist: DistributedHybrid, u: np.ndarray
+) -> tuple[np.ndarray, CommStats]:
+    """HybridSolve (Algorithm II.6) across the virtual ranks."""
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 1:
+        raise ValueError("distributed hybrid solve expects a single RHS")
+    pieces, stats = run_spmd(_hybrid_solve_worker, dist.n_ranks, dist, u)
+    return np.concatenate(pieces), stats

@@ -1,0 +1,163 @@
+"""Distributed skeletonization (the parallel ASKIT construction phase).
+
+The paper builds on ASKIT's parallel tree construction and
+skeletonization (its "ASKIT" timing column in Table V); this module
+runs Algorithm II.1 under the same ownership model as DistFactorize:
+
+* each of the ``p = 2^q`` ranks skeletonizes the subtree rooted at its
+  level-``log p`` node entirely locally (bottom-up, identical to the
+  serial code);
+* for a *distributed* node, the two child skeletons live on rank {0}
+  and rank {q/2} of the node's communicator; they are exchanged with a
+  SendRecv (skeleton positions travel — coordinates are replicated,
+  see DESIGN.md's substitution table), rank {0} computes the node's
+  interpolative decomposition, and the result is broadcast within the
+  communicator so every rank can later build its ``K_{sib~, x}``
+  blocks.
+
+Because row sampling is keyed by ``(seed, node id)`` rather than
+traversal order, the distributed construction produces *bit-identical*
+skeletons to the serial :func:`repro.skeleton.skeletonize` — asserted
+in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SkeletonConfig
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel
+from repro.parallel.vmpi import CommStats, Communicator, run_spmd
+from repro.sampling.neighbors import NeighborTable
+from repro.skeleton.skeletonize import (
+    NodeSkeleton,
+    SkeletonSet,
+    effective_level_stop,
+    prepare_sampling,
+    skeletonize_node,
+)
+from repro.tree.balltree import BallTree
+
+__all__ = ["distributed_skeletonize"]
+
+
+def _skeletonize_worker(
+    comm: Communicator,
+    tree: BallTree,
+    kernel: Kernel,
+    config: SkeletonConfig,
+    neighbors: NeighborTable | None,
+) -> dict[int, NodeSkeleton]:
+    n_levels = int(np.log2(comm.size))
+    subtree_root = tree.node((1 << n_levels) + comm.rank)
+    level_stop = effective_level_stop(tree, config)
+    sampler, _ = prepare_sampling(tree, config, neighbors)
+
+    local: dict[int, NodeSkeleton] = {}
+
+    # ---- local phase: my subtree, bottom-up ---------------------------
+    for level in range(tree.depth, max(level_stop, n_levels) - 1, -1):
+        span = level - n_levels
+        first = subtree_root.id << span
+        for nid in range(first, first + (1 << span)):
+            node = tree.node(nid)
+            if tree.is_leaf(node):
+                candidates = np.arange(node.lo, node.hi, dtype=np.intp)
+            else:
+                left_id, right_id = 2 * nid, 2 * nid + 1
+                if left_id not in local or right_id not in local:
+                    continue  # adaptive stop propagated
+                candidates = np.concatenate(
+                    [local[left_id].skeleton, local[right_id].skeleton]
+                )
+            sk = skeletonize_node(tree, kernel, config, sampler, node, candidates)
+            if sk is not None:
+                local[nid] = sk
+
+    # ---- distributed phase: my ancestors, levels log p - 1 .. stop ----
+    comms = [comm]
+    for l in range(1, n_levels + 1):
+        bit = (comm.rank >> (n_levels - l)) & 1
+        comms.append(comms[-1].split(color=bit))
+
+    stopped = False
+    for level in range(n_levels - 1, level_stop - 1, -1):
+        node_comm = comms[level]
+        q = node_comm.size
+        node = tree.node(subtree_root.id >> (subtree_root.level - level))
+        left_id, right_id = 2 * node.id, 2 * node.id + 1
+
+        # child-skeleton exchange between the communicator's local roots.
+        payload = None
+        if node_comm.rank == 0:
+            own = local.get(left_id)
+            own_pack = None if own is None else own.skeleton
+            sib_pack = node_comm.sendrecv(
+                own_pack, dest=q // 2, source=q // 2, tag=50 + level
+            )
+            payload = (own_pack, sib_pack)
+        elif node_comm.rank == q // 2:
+            own = local.get(right_id)
+            own_pack = None if own is None else own.skeleton
+            node_comm.sendrecv(own_pack, dest=0, source=0, tag=50 + level)
+
+        # rank {0} computes the node's ID (or declares a stop) and
+        # broadcasts the result to the whole communicator.
+        result: NodeSkeleton | None = None
+        if node_comm.rank == 0 and not stopped:
+            left_skel, right_skel = payload
+            if left_skel is None or right_skel is None:
+                result = None  # a child stopped: propagate upward
+            else:
+                candidates = np.concatenate([left_skel, right_skel])
+                result = skeletonize_node(
+                    tree, kernel, config, sampler, node, candidates
+                )
+        result = node_comm.bcast(result, root=0)
+        if result is None:
+            stopped = True
+        else:
+            local[node.id] = result
+
+    return local
+
+
+def distributed_skeletonize(
+    tree: BallTree,
+    kernel: Kernel,
+    config: SkeletonConfig | None = None,
+    n_ranks: int = 2,
+    *,
+    neighbors: NeighborTable | None = None,
+) -> tuple[SkeletonSet, CommStats]:
+    """Run Algorithm II.1 over ``n_ranks`` virtual MPI ranks.
+
+    Returns the merged :class:`SkeletonSet` (identical to the serial
+    one) and the fabric's communication statistics.  The neighbor table
+    for sampling, if enabled, is computed once up front and replicated
+    (ASKIT distributes it with its local essential tree; see DESIGN.md).
+    """
+    config = config or SkeletonConfig()
+    if n_ranks < 1 or (n_ranks & (n_ranks - 1)) != 0:
+        raise ConfigurationError(f"n_ranks must be a power of two; got {n_ranks}")
+    if n_ranks > (1 << tree.depth):
+        raise ConfigurationError(
+            f"n_ranks={n_ranks} exceeds the number of level-log2(p) subtrees"
+        )
+    if neighbors is None and config.num_neighbors > 0 and tree.n_points > 2:
+        # replicate the neighbor table (drawn with the same seed stream
+        # as the serial path so results match exactly).
+        _sampler, neighbors = prepare_sampling(tree, config, None)
+
+    results, stats = run_spmd(
+        _skeletonize_worker, n_ranks, tree, kernel, config, neighbors
+    )
+    merged: dict[int, NodeSkeleton] = {}
+    for part in results:
+        merged.update(part)
+
+    sset = SkeletonSet(tree=tree, config=config)
+    sset.skeletons = merged
+    sset.effective_level = effective_level_stop(tree, config)
+    return sset, stats

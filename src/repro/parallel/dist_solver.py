@@ -1,0 +1,362 @@
+"""Distributed factorization and solve (Algorithms II.4 and II.5).
+
+Ownership follows the paper's Figure 1: with ``p = 2^q`` ranks, rank
+``i`` owns the subtree rooted at the i-th node of level ``log p`` and
+factorizes it with the *serial* Algorithm II.2.  Distributed nodes
+(levels above ``log p``) are processed with the recursive communicator
+scheme: the node's communicator splits into halves (the children's
+communicators); rank {0} owns the left child's skeleton and the node's
+reduced system ``Z``; rank {q/2} owns the right child's skeleton.
+Skeletons are exchanged with a SendRecv between {0} and {q/2} and then
+broadcast within each half; the ``V W`` Gram blocks and the solve-phase
+reductions are computed locally on each rank's point slice and reduced
+up the halves — exactly the message pattern of Algorithms II.4/II.5,
+which is what the communication-counter tests measure.
+
+The factorization produced is bit-for-bit the serial one (the tests
+assert agreement with :func:`repro.solvers.factorize` to roundoff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.exceptions import ConfigurationError, NotFactorizedError
+from repro.hmatrix.hmatrix import HMatrix
+from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.parallel.vmpi import CommStats, Communicator, run_spmd
+from repro.solvers.factorization import HierarchicalFactorization
+from repro.util import lapack
+from repro.util.flops import count_flops
+
+__all__ = [
+    "DistributedFactorization",
+    "distributed_factorize",
+    "distributed_solve",
+]
+
+
+@dataclass
+class _LevelState:
+    """Per-rank data for one distributed ancestor node."""
+
+    node_id: int
+    #: summation block K_{sib~, x_i}: sibling-child skeleton rows vs my points.
+    ksib: KernelSummation
+    #: my child's skeleton size (s_l on left-half ranks, s_r on right).
+    s_mine: int
+    #: LU of the node's Z — held only on comm rank {0} of this node.
+    z_lu: tuple[np.ndarray, np.ndarray] | None = None
+    s_l: int = 0
+    s_r: int = 0
+
+
+@dataclass
+class _RankState:
+    """Everything one virtual rank retains after DistFactorize."""
+
+    rank: int
+    subtree_root_id: int
+    lo: int
+    hi: int
+    local: HierarchicalFactorization
+    #: levels[l] for distributed levels l = log p - 1 .. 0.
+    levels: dict[int, _LevelState] = field(default_factory=dict)
+    #: phat_chain[l] = my rows of P^ of my ancestor's child at level l
+    #: (phat_chain[log p] is the local subtree root's P^).
+    phat_chain: dict[int, np.ndarray] = field(default_factory=dict)
+    #: flops this rank spent during factorization (strong-scaling model).
+    factor_flops: int = 0
+
+
+@dataclass
+class DistributedFactorization:
+    """Result of :func:`distributed_factorize`.
+
+    Holds per-rank states; :func:`distributed_solve` re-launches the
+    SPMD ranks against them.  ``factor_stats`` records the fabric
+    traffic of the factorization (paper: O(s^2 log^2 p) total).
+    """
+
+    hmatrix: HMatrix
+    lam: float
+    n_ranks: int
+    config: SolverConfig
+    states: list[_RankState]
+    factor_stats: CommStats
+
+    @property
+    def n_levels(self) -> int:
+        return int(np.log2(self.n_ranks))
+
+
+def _build_comm_chain(world: Communicator, n_levels: int) -> list[Communicator]:
+    """comms[l] = communicator of my distributed ancestor at level l."""
+    comms = [world]
+    comm = world
+    for l in range(1, n_levels + 1):
+        bit = (world.rank >> (n_levels - l)) & 1
+        comm = comm.split(color=bit)
+        comms.append(comm)
+    return comms
+
+
+def _skeleton_points(h: HMatrix, node_id: int) -> tuple[np.ndarray, int]:
+    sk = h.skeletons[node_id]
+    return h.tree.points[sk.skeleton], sk.rank
+
+
+def _factor_worker(
+    comm: Communicator,
+    h: HMatrix,
+    lam: float,
+    config: SolverConfig,
+) -> _RankState:
+    from repro.util.flops import FlopCounter
+
+    with FlopCounter() as rank_counter:
+        state = _factor_worker_body(comm, h, lam, config)
+    state.factor_flops = rank_counter.flops
+    return state
+
+
+def _factor_worker_body(
+    comm: Communicator,
+    h: HMatrix,
+    lam: float,
+    config: SolverConfig,
+) -> _RankState:
+    tree = h.tree
+    p = comm.size
+    n_levels = int(np.log2(p))
+    subtree_root = tree.node((1 << n_levels) + comm.rank)
+
+    # ---- local phase: serial Algorithm II.2 on the owned subtree ------
+    local = HierarchicalFactorization(h, lam, config)
+    stack = [subtree_root]
+    order = []
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        if not tree.is_leaf(node):
+            left, right = tree.children(node)
+            stack.extend((left, right))
+    for node in sorted(order, key=lambda n: -n.level):
+        if tree.is_leaf(node):
+            local._factor_leaf(node)
+        else:
+            local._factor_internal(node)
+    local._factored = True
+
+    state = _RankState(
+        rank=comm.rank,
+        subtree_root_id=subtree_root.id,
+        lo=subtree_root.lo,
+        hi=subtree_root.hi,
+        local=local,
+    )
+    if n_levels == 0:
+        # p = 1: the "subtree" is the whole tree; build the root reduced
+        # system locally through the serial path.
+        local._build_reduced()
+        return state
+
+    if tree.is_leaf(subtree_root):
+        phat_prev = local.leaf_factors[subtree_root.id].phat
+    else:
+        phat_prev = local.node_factors[subtree_root.id].phat
+    if phat_prev is None:
+        raise ConfigurationError(
+            "distributed factorization requires every node above level "
+            f"log2(p)={n_levels} to be skeletonized (no level restriction)"
+        )
+    state.phat_chain[n_levels] = phat_prev
+    my_points = tree.points[subtree_root.lo : subtree_root.hi]
+    method = SummationMethod(config.summation)
+    comms = _build_comm_chain(comm, n_levels)
+
+    # ---- distributed phase: Algorithm II.4, levels log p - 1 .. 0 -----
+    for l in range(n_levels - 1, -1, -1):
+        node_comm = comms[l]
+        q = node_comm.size
+        half_comm = comms[l + 1]
+        node = tree.node(subtree_root.id >> (subtree_root.level - l))
+        left_id, right_id = 2 * node.id, 2 * node.id + 1
+        i_am_left = node_comm.rank < q // 2
+
+        # skeleton exchange between {0} and {q/2}, then Bcast in halves.
+        if node_comm.rank == 0:
+            own = _skeleton_points(h, left_id)
+            sib = node_comm.sendrecv(own, dest=q // 2, source=q // 2, tag=10 + l)
+        elif node_comm.rank == q // 2:
+            own = _skeleton_points(h, right_id)
+            sib = node_comm.sendrecv(own, dest=0, source=0, tag=10 + l)
+        else:
+            sib = None
+        sib_pts, s_sib = half_comm.bcast(sib, root=0)
+        s_mine = h.skeletons[left_id if i_am_left else right_id].rank
+
+        ksib = KernelSummation(h.kernel, sib_pts, my_points, method)
+        lstate = _LevelState(node_id=node.id, ksib=ksib, s_mine=s_mine)
+        state.levels[l] = lstate
+
+        # Gram blocks of Z: each rank contributes K_{sib~, x_i} P^_{x_i c~}.
+        B_i = ksib.matvec(phat_prev)  # (s_sib, s_mine)
+        B = half_comm.reduce(B_i, root=0)
+        if node_comm.rank == q // 2:
+            node_comm.send(B, 0, tag=20 + l)  # B = K_{l~ r} P^_{r r~}
+        z_parts = None
+        if node_comm.rank == 0:
+            B_lr = node_comm.recv(q // 2, tag=20 + l)
+            B_rl = B
+            s_l = B_rl.shape[1]
+            s_r = B_lr.shape[1]
+            Z = np.eye(s_l + s_r)
+            Z[:s_l, s_l:] += B_lr
+            Z[s_l:, :s_l] += B_rl
+            lstate.z_lu = lapack.lu_factor(Z)
+            count_flops(2 * (s_l + s_r) ** 3 // 3, label="dist_z_lu")
+            lstate.s_l, lstate.s_r = s_l, s_r
+            z_parts = (s_l, s_r)
+
+        if l == 0:
+            break  # the root has no skeleton: nothing to telescope.
+
+        # telescope P^_{x alpha~} (eq. 10 / DistSolve with no recursion).
+        # {0} owns the node's projection P_{[l~ r~] alpha~}; broadcast it.
+        proj_info = None
+        if node_comm.rank == 0:
+            proj_info = (h.skeletons[node.id].proj, z_parts[0])
+        proj, s_l = node_comm.bcast(proj_info, root=0)
+        my_cols = proj[:, :s_l] if i_am_left else proj[:, s_l:]
+        G_i = phat_prev @ my_cols.T  # (|x_i|, s_alpha)
+        count_flops(2 * phat_prev.size * proj.shape[0], label="dist_telescope")
+
+        y_mine = _reduced_solve_dist(
+            node_comm, half_comm, lstate, ksib.matvec(G_i), i_am_left, l
+        )
+        phat_prev = G_i - phat_prev @ y_mine
+        count_flops(2 * phat_prev.size * y_mine.shape[0], label="dist_telescope")
+        state.phat_chain[l] = phat_prev
+
+    return state
+
+
+def _reduced_solve_dist(
+    node_comm: Communicator,
+    half_comm: Communicator,
+    lstate: _LevelState,
+    t_i: np.ndarray,
+    i_am_left: bool,
+    l: int,
+) -> np.ndarray:
+    """Shared tail of Algorithms II.4/II.5 at one distributed node.
+
+    Reduces each half's ``V``-contribution ``t_i`` (rows: *sibling*
+    skeleton), solves ``Z y = t`` on {0}, and returns each rank's slice
+    of ``y`` for its own child's skeleton.
+    """
+    q = node_comm.size
+    t_half = half_comm.reduce(t_i, root=0)
+    if node_comm.rank == q // 2:
+        # right half computed rows l~ (its sibling): send t_l to {0}.
+        node_comm.send(t_half, 0, tag=30 + l)
+    y_half = None
+    if node_comm.rank == 0:
+        t_l = node_comm.recv(q // 2, tag=30 + l)
+        t_r = t_half
+        t = np.concatenate([t_l, t_r], axis=0)
+        y = lapack.lu_solve(lstate.z_lu, t)
+        k = 1 if t.ndim == 1 else t.shape[1]
+        count_flops(2 * t.shape[0] ** 2 * k, label="dist_z_solve")
+        node_comm.send(y[lstate.s_l :], q // 2, tag=40 + l)
+        y_half = y[: lstate.s_l]
+    elif node_comm.rank == q // 2:
+        y_half = node_comm.recv(0, tag=40 + l)
+    return half_comm.bcast(y_half, root=0)
+
+
+def _solve_worker(
+    comm: Communicator,
+    dist: DistributedFactorization,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Algorithm II.5 (recursion unrolled bottom-up over levels)."""
+    state = dist.states[comm.rank]
+    tree = dist.hmatrix.tree
+    n_levels = dist.n_levels
+    if n_levels == 0:
+        return state.local.solve(u)
+
+    comms = _build_comm_chain(comm, n_levels)
+    subtree_root = tree.node(state.subtree_root_id)
+    w = state.local.solve_subtree(subtree_root, u[state.lo : state.hi])
+
+    for l in range(n_levels - 1, -1, -1):
+        node_comm = comms[l]
+        half_comm = comms[l + 1]
+        lstate = state.levels[l]
+        i_am_left = node_comm.rank < node_comm.size // 2
+        y_mine = _reduced_solve_dist(
+            node_comm, half_comm, lstate, lstate.ksib.matvec(w), i_am_left, l
+        )
+        phat = state.phat_chain[l + 1]
+        w = w - phat @ y_mine
+        k = 1 if w.ndim == 1 else w.shape[1]
+        count_flops(2 * phat.size * k, label="dist_correct")
+    return w
+
+
+def distributed_factorize(
+    hmatrix: HMatrix,
+    lam: float = 0.0,
+    n_ranks: int = 2,
+    config: SolverConfig | None = None,
+) -> DistributedFactorization:
+    """DistFactorize (Algorithm II.4) over ``n_ranks`` virtual ranks.
+
+    ``n_ranks`` must be a power of two and at most ``2^depth``.  Level
+    restriction is not supported in the distributed path (the paper's
+    distributed runs in Table III / Figure 4 are unrestricted); use the
+    serial :func:`repro.solvers.factorize` for hybrid/restricted runs.
+    """
+    config = config or SolverConfig()
+    if config.method not in ("nlogn", "direct"):
+        raise ConfigurationError(
+            "distributed factorization supports the telescoping method "
+            f"only; got method={config.method!r}"
+        )
+    if n_ranks < 1 or (n_ranks & (n_ranks - 1)) != 0:
+        raise ConfigurationError(f"n_ranks must be a power of two; got {n_ranks}")
+    if n_ranks > (1 << hmatrix.tree.depth):
+        raise ConfigurationError(
+            f"n_ranks={n_ranks} exceeds the number of level-log2(p) "
+            f"subtrees (depth {hmatrix.tree.depth})"
+        )
+    states, stats = run_spmd(_factor_worker, n_ranks, hmatrix, lam, config)
+    return DistributedFactorization(
+        hmatrix=hmatrix,
+        lam=lam,
+        n_ranks=n_ranks,
+        config=config,
+        states=list(states),
+        factor_stats=stats,
+    )
+
+
+def distributed_solve(
+    dist: DistributedFactorization, u: np.ndarray
+) -> tuple[np.ndarray, CommStats]:
+    """DistSolve (Algorithm II.5): ``w = (lambda I + K~)^{-1} u``.
+
+    ``u`` is in tree order; returns ``(w, comm_stats)`` where the stats
+    cover this solve's traffic only (paper: O(s log^2 p) per RHS).
+    """
+    if not dist.states:
+        raise NotFactorizedError("distributed factorization has no rank states")
+    u = np.asarray(u, dtype=np.float64)
+    pieces, stats = run_spmd(_solve_worker, dist.n_ranks, dist, u)
+    return np.concatenate(pieces, axis=0), stats

@@ -1,0 +1,16 @@
+"""Virtual MPI: a deterministic, in-process message-passing runtime.
+
+Ranks are threads executing the same SPMD function; the fabric routes
+tagged messages between (communicator, source, dest) mailboxes.
+Collectives (bcast/reduce/allreduce/gather/allgather/barrier) are
+implemented as binomial trees over point-to-point messages, so the
+fabric's message and byte counters reflect the O(log p) per-collective
+cost structure of a real MPI implementation — which is what lets the
+test suite verify the paper's communication-complexity claims.
+"""
+
+from repro.parallel.vmpi.fabric import Fabric, CommStats
+from repro.parallel.vmpi.communicator import Communicator
+from repro.parallel.vmpi.runtime import run_spmd
+
+__all__ = ["Fabric", "CommStats", "Communicator", "run_spmd"]

@@ -1,0 +1,119 @@
+"""Message fabric: mailboxes + traffic accounting.
+
+One :class:`Fabric` is shared by every rank of a :func:`run_spmd`
+launch.  Mailboxes are keyed by ``(comm_key, src, dst, tag)`` so
+messages on different (sub-)communicators never collide; within one
+key, delivery is FIFO — matching MPI's non-overtaking guarantee.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DeadlockError
+
+__all__ = ["Fabric", "CommStats"]
+
+#: default receive timeout; virtual ranks share one process, so a
+#: missing message means a bug, not a slow network.
+DEFAULT_TIMEOUT = 120.0
+
+
+def payload_bytes(obj) -> int:
+    """Modeled wire size of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_bytes(o) for o in obj)
+    if obj is None:
+        return 0
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable diagnostics object
+        return 64
+
+
+@dataclass
+class CommStats:
+    """Aggregate traffic counters for one SPMD launch.
+
+    ``messages``/``bytes`` count point-to-point sends (collectives are
+    built from sends, so their cost is included automatically).
+    """
+
+    messages: int = 0
+    bytes: int = 0
+    by_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, src_world: int, dst_world: int, nbytes: int) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes += nbytes
+            key = (src_world, dst_world)
+            self.by_pair[key] = self.by_pair.get(key, 0) + nbytes
+
+
+class Fabric:
+    """Shared mailbox router for one SPMD launch."""
+
+    def __init__(self, n_ranks: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.timeout = timeout
+        self.stats = CommStats()
+        self._boxes: dict[tuple, deque] = defaultdict(deque)
+        self._cond = threading.Condition()
+        self._aborted: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def post(
+        self,
+        comm_key: str,
+        src: int,
+        dst: int,
+        tag: int,
+        payload,
+        *,
+        src_world: int,
+        dst_world: int,
+    ) -> None:
+        """Deliver a message (called by the sending rank)."""
+        self.stats.record(src_world, dst_world, payload_bytes(payload))
+        with self._cond:
+            self._boxes[(comm_key, src, dst, tag)].append(payload)
+            self._cond.notify_all()
+
+    def wait(self, comm_key: str, src: int, dst: int, tag: int):
+        """Block until a matching message arrives; FIFO per key."""
+        key = (comm_key, src, dst, tag)
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: self._aborted is not None or bool(self._boxes[key]),
+                timeout=self.timeout,
+            )
+            if self._aborted is not None:
+                raise DeadlockError(
+                    f"peer rank failed: {self._aborted!r}"
+                ) from self._aborted
+            if not ok:
+                raise DeadlockError(
+                    f"recv timed out after {self.timeout}s waiting for "
+                    f"(comm={comm_key!r}, src={src}, dst={dst}, tag={tag})"
+                )
+            return self._boxes[key].popleft()
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake all waiting ranks after a rank died (deadlock prevention)."""
+        with self._cond:
+            if self._aborted is None:
+                self._aborted = exc
+            self._cond.notify_all()

@@ -1,0 +1,77 @@
+"""SPMD launcher: run the same function on p virtual ranks (threads).
+
+``run_spmd(fn, p)`` is the moral equivalent of ``mpiexec -n p``.  Each
+rank thread gets a :class:`Communicator` for the world group; the
+caller gets every rank's return value plus the fabric's traffic
+statistics.  A rank that raises aborts the whole launch (waking any
+rank blocked in ``recv``) and re-raises in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.parallel.vmpi.communicator import Communicator
+from repro.parallel.vmpi.fabric import CommStats, Fabric
+from repro.util.flops import current_counter
+
+__all__ = ["run_spmd"]
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    n_ranks: int,
+    *args,
+    timeout: float = 120.0,
+    **kwargs,
+) -> tuple[list[Any], CommStats]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` virtual ranks.
+
+    Parameters
+    ----------
+    fn:
+        SPMD function; its first argument is the world
+        :class:`Communicator`.
+    n_ranks:
+        Number of virtual ranks (threads).
+    timeout:
+        Per-receive deadlock timeout in seconds.
+
+    Returns
+    -------
+    (results, stats):
+        ``results[r]`` is rank r's return value; ``stats`` holds the
+        fabric's message/byte counters for the whole launch.
+    """
+    fabric = Fabric(n_ranks, timeout=timeout)
+    results: list[Any] = [None] * n_ranks
+    errors: list[tuple[int, BaseException]] = []
+    counter = current_counter()  # charge rank work to the caller's counter
+
+    def worker(rank: int) -> None:
+        comm = Communicator(fabric, "world", rank, list(range(n_ranks)))
+        if counter is not None:
+            counter.attach()
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must abort peers
+            errors.append((rank, exc))
+            fabric.abort(exc)
+        finally:
+            if counter is not None:
+                counter.detach()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"vmpi-rank-{r}")
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise RuntimeError(f"virtual rank {rank} failed: {exc!r}") from exc
+    return results, fabric.stats

@@ -1,0 +1,80 @@
+"""Machine node models for Haswell and Knights Landing.
+
+Peak numbers follow the paper's section IV footnote:
+
+* Haswell node: 2 x 12 cores x 2.6 GHz x 16 DP flops/cycle = 998 GFLOPS,
+  MKL GEMM reaches 87% of peak.
+* KNL node: 68 cores x 1.4 GHz x 32 DP flops/cycle = 3,046 GFLOPS,
+  MKL GEMM reaches 69% of peak (clock throttling under full FMA issue).
+
+Bandwidths and the transcendental-function rates are representative
+published STREAM / VML figures for the two parts; they control the
+memory-bound regimes of the summation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "HASWELL_NODE", "KNL_NODE"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Roofline parameters of one compute node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name.
+    peak_gflops:
+        Theoretical double-precision peak of the node.
+    gemm_efficiency:
+        Fraction of peak a large vendor GEMM achieves.
+    stream_bw_gbs:
+        Sustainable streaming bandwidth (GB/s) of the memory feeding
+        large working sets (DDR4 for both nodes: on KNL, Table IV shows
+        the big factors do not fit MCDRAM).
+    exp_gelems:
+        Vectorized-exp throughput in Gelem/s (VML / SVML class).
+    fused_efficiency:
+        Fraction of peak the fused GSKS micro-kernel achieves on its
+        semi-ring update (lower than GEMM: the kernel evaluation and
+        reduction share the same registers).
+    """
+
+    name: str
+    peak_gflops: float
+    gemm_efficiency: float
+    stream_bw_gbs: float
+    exp_gelems: float
+    fused_efficiency: float
+
+    @property
+    def gemm_gflops(self) -> float:
+        return self.peak_gflops * self.gemm_efficiency
+
+    @property
+    def fused_gflops(self) -> float:
+        return self.peak_gflops * self.fused_efficiency
+
+
+#: Lonestar5 node: 2 x Xeon E5-2690 v3 (section IV).
+HASWELL_NODE = MachineSpec(
+    name="Haswell (2 x E5-2690 v3, 24 cores)",
+    peak_gflops=998.0,
+    gemm_efficiency=0.87,
+    stream_bw_gbs=100.0,
+    exp_gelems=4.0,
+    fused_efficiency=0.70,
+)
+
+#: Stampede KNL node: Xeon Phi 7250, cache-quadrant mode (section IV).
+KNL_NODE = MachineSpec(
+    name="KNL (Xeon Phi 7250, 68 cores, cache-quadrant)",
+    peak_gflops=3046.0,
+    gemm_efficiency=0.69,
+    stream_bw_gbs=85.0,
+    exp_gelems=6.0,
+    fused_efficiency=0.50,
+)

@@ -1,0 +1,94 @@
+"""Strong-scaling model (paper Figure 4, right panel).
+
+Converts per-rank work counters and fabric traffic from a virtual-MPI
+run into modeled wall-clock on a real cluster:
+
+``T(p) = max_rank_flops / node_rate  +  n_messages * latency
+         +  bytes_on_critical_path / network_bw``
+
+Efficiency is ``T(1) / (p * T(p))`` scaled so p = 1 is 100%, exactly
+the green-line comparison of Figure 4.  The model charges the *maximum*
+per-rank compute (load imbalance shows up the way the paper describes
+for adaptive ranks) and the aggregate message count over the log p
+levels (latency-dominated collectives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.vmpi.fabric import CommStats
+from repro.perfmodel.machine import MachineSpec
+
+__all__ = ["ScalingPoint", "ScalingModel"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (p, modeled time) sample of a strong-scaling sweep."""
+
+    n_ranks: int
+    compute_seconds: float
+    comm_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Cluster parameters for converting counters to modeled time.
+
+    Attributes
+    ----------
+    machine:
+        Node model (compute rate per rank's share of a node).
+    ranks_per_node:
+        MPI ranks mapped to one node (paper: 1-4).
+    latency_s:
+        Per-message latency (InfiniBand class: ~2 microseconds).
+    network_gbs:
+        Point-to-point network bandwidth in GB/s.
+    efficiency:
+        Fraction of the node's GEMM rate the factorization sustains
+        (Table IV: ~62% on Haswell).
+    """
+
+    machine: MachineSpec
+    ranks_per_node: int = 1
+    latency_s: float = 2e-6
+    network_gbs: float = 10.0
+    efficiency: float = 0.6
+
+    def rank_gflops(self) -> float:
+        return self.machine.peak_gflops * self.efficiency / self.ranks_per_node
+
+    def point(
+        self, n_ranks: int, max_rank_flops: float, stats: CommStats
+    ) -> ScalingPoint:
+        """Model one run from its counters."""
+        compute = max_rank_flops / (self.rank_gflops() * 1e9)
+        # messages serialize along the recursive levels; bytes ride the
+        # network at full rate.  Charge the aggregate conservatively
+        # divided by the ranks that send concurrently.
+        conc = max(1, n_ranks // 2)
+        comm = (
+            stats.messages / conc * self.latency_s
+            + stats.bytes / conc / (self.network_gbs * 1e9)
+        )
+        return ScalingPoint(
+            n_ranks=n_ranks, compute_seconds=compute, comm_seconds=comm
+        )
+
+    @staticmethod
+    def efficiency_series(points: list[ScalingPoint]) -> list[float]:
+        """Parallel efficiency vs. the smallest-p point (1.0 = ideal)."""
+        if not points:
+            return []
+        base = points[0]
+        out = []
+        for pt in points:
+            ideal = base.seconds * base.n_ranks / pt.n_ranks
+            out.append(ideal / pt.seconds if pt.seconds > 0 else 0.0)
+        return out

@@ -1,0 +1,85 @@
+"""Roofline model of kernel summation (paper Table I, section II-D).
+
+Reference path ("MKL + VML"): ``w = GEMV(K(GEMM(X_A^T, X_B)), u)`` —
+three phases, each of which streams the m x n block through slow
+memory:
+
+1. GEMM rank-d update (2 m n d flops, writes m n words),
+2. VML VEXP over the block (m n exps, reads + writes m n words),
+3. GEMV reduction (2 m n flops, reads m n words).
+
+GSKS path: one fused pass — same useful flops, but the block lives in
+registers/cache, so slow-memory traffic is only the O(m d + n d)
+operand streams.  Each phase is modeled as
+``max(compute time, memory time)`` (the roofline), matching the
+paper's observation that the reference is memory bound for small d
+while GSKS stays compute bound.
+
+Reported "efficiency" follows the paper's convention: useful GEMM
+flops ``2 m n d`` divided by total time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import MachineSpec
+
+__all__ = ["SummationTimings", "model_reference_summation", "model_gsks_summation"]
+
+_WORD = 8  # float64 bytes
+#: modeled flops charged per kernel evaluation inside the fused kernel
+#: (scale + exp expanded in registers).
+_FUSED_EXP_FLOPS = 12.0
+
+
+@dataclass(frozen=True)
+class SummationTimings:
+    """Modeled timing of one m x n x d kernel summation."""
+
+    seconds: float
+    useful_flops: float
+    moved_bytes: float
+
+    @property
+    def gflops(self) -> float:
+        """Effective GFLOPS (useful GEMM work / time) — Table I's metric."""
+        return self.useful_flops / self.seconds / 1e9
+
+
+def model_reference_summation(
+    machine: MachineSpec, m: int, n: int, d: int
+) -> SummationTimings:
+    """Modeled time of the evaluate-then-GEMV reference (MKL + VML)."""
+    useful = 2.0 * m * n * d
+    bw = machine.stream_bw_gbs * 1e9
+
+    # phase 1: GEMM writes the m x n distance block.
+    t_gemm = max(
+        useful / (machine.gemm_gflops * 1e9),
+        ((m * d + n * d + m * n) * _WORD) / bw,
+    )
+    # phase 2: VEXP streams the block in and out.
+    t_exp = max(m * n / (machine.exp_gelems * 1e9), (2.0 * m * n * _WORD) / bw)
+    # phase 3: GEMV reads the block once.
+    t_gemv = max(
+        2.0 * m * n / (machine.gemm_gflops * 1e9), (m * n * _WORD) / bw
+    )
+    seconds = t_gemm + t_exp + t_gemv
+    moved = (m * d + n * d + 4.0 * m * n) * _WORD
+    return SummationTimings(seconds=seconds, useful_flops=useful, moved_bytes=moved)
+
+
+def model_gsks_summation(
+    machine: MachineSpec, m: int, n: int, d: int
+) -> SummationTimings:
+    """Modeled time of the fused matrix-free GSKS path."""
+    useful = 2.0 * m * n * d
+    total_flops = useful + (_FUSED_EXP_FLOPS + 2.0) * m * n
+    bw = machine.stream_bw_gbs * 1e9
+    seconds = max(
+        total_flops / (machine.fused_gflops * 1e9),
+        ((m * d + n * d + m + n) * _WORD) / bw,
+    )
+    moved = (m * d + n * d + m + n) * _WORD
+    return SummationTimings(seconds=seconds, useful_flops=useful, moved_bytes=moved)

@@ -1,0 +1,92 @@
+"""Human-readable reports on the hierarchical structure.
+
+Downstream users debugging a failing compression need to *see* where
+ranks blow up.  :func:`rank_structure` renders the tree with per-node
+skeleton ranks, compression ratios, and frontier markers;
+:func:`summarize` produces the one-paragraph digest used by the CLI
+and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmatrix.hmatrix import HMatrix
+
+__all__ = ["rank_structure", "summarize"]
+
+
+def rank_structure(h: HMatrix, *, max_depth: int | None = None) -> str:
+    """ASCII rendering of the tree with skeleton ranks.
+
+    One line per node: indentation by level, node id, point count,
+    skeleton rank (``-`` above the frontier), the compression ratio
+    rank/candidates, and a ``*`` marker on frontier nodes.
+
+    Parameters
+    ----------
+    h:
+        Built hierarchical matrix.
+    max_depth:
+        Deepest level to print (default: whole tree; leaves of big
+        trees make long listings).
+    """
+    tree = h.tree
+    sset = h.skeletons
+    frontier_ids = {f.id for f in h.frontier}
+    depth = tree.depth if max_depth is None else min(max_depth, tree.depth)
+    lines = [
+        f"tree: N={tree.n_points} d={tree.n_dims} depth={tree.depth} "
+        f"leaf<= {tree.config.leaf_size}",
+        "id".rjust(8) + "  level  " + "points".rjust(7) + "  "
+        + "rank".rjust(5) + "  " + "compr".rjust(6) + "  frontier",
+    ]
+
+    def visit(node_id: int) -> None:
+        node = tree.node(node_id)
+        if node.level > depth:
+            return
+        indent = "  " * node.level
+        if sset.is_skeletonized(node_id):
+            sk = sset[node_id]
+            rank = str(sk.rank)
+            compr = f"{sk.rank / max(len(sk.candidates), 1):.2f}"
+        else:
+            rank, compr = "-", "-"
+        marker = "*" if node_id in frontier_ids else ""
+        lines.append(
+            f"{node_id:>8}  {node.level:>5}  {node.size:>7}  {rank:>5}  "
+            f"{compr:>6}  {indent}{marker}"
+        )
+        if not tree.is_leaf(node):
+            visit(node.left_id)
+            visit(node.right_id)
+
+    visit(1)
+    return "\n".join(lines)
+
+
+def summarize(h: HMatrix) -> str:
+    """One-paragraph digest: ranks, frontier, reduced size, storage."""
+    sset = h.skeletons
+    ranks = [sk.rank for sk in sset.skeletons.values()]
+    if not ranks:
+        return (
+            f"single dense block: N={h.n_points} (leaf size covers the "
+            "whole set; no compression)"
+        )
+    frontier = h.frontier
+    per_level: dict[int, list[int]] = {}
+    for nid, sk in sset.skeletons.items():
+        per_level.setdefault(h.tree.node(nid).level, []).append(sk.rank)
+    level_txt = ", ".join(
+        f"L{lvl}: mean {np.mean(rs):.0f}" for lvl, rs in sorted(per_level.items())
+    )
+    return (
+        f"N={h.n_points}, depth={h.tree.depth}; skeleton ranks "
+        f"min {min(ranks)} / mean {np.mean(ranks):.1f} / max {max(ranks)} "
+        f"({level_txt}); frontier: {len(frontier)} nodes at level(s) "
+        f"{sorted({f.level for f in frontier})}, reduced dim "
+        f"{sset.total_frontier_rank()}; cached storage "
+        f"{h.storage_words() / 1e6:.2f} Mwords"
+    )

@@ -1,0 +1,13 @@
+"""Row sampling for skeletonization (ASKIT's kappa-neighbor sampling).
+
+The interpolative decomposition of a node needs rows of ``K`` indexed
+by points *outside* the node.  Using all N - |alpha| rows would cost
+O(N^2); ASKIT instead samples a small set ``S'`` biased toward near
+neighbors of the node's points (the rows with the largest entries, for
+decaying kernels) plus uniform fill-in.
+"""
+
+from repro.sampling.neighbors import NeighborTable, approximate_knn
+from repro.sampling.importance import RowSampler
+
+__all__ = ["NeighborTable", "approximate_knn", "RowSampler"]

@@ -1,0 +1,129 @@
+"""Approximate k-nearest-neighbor search via randomized ball trees.
+
+ASKIT uses approximate near neighbors (parameter ``kappa``) to bias the
+skeletonization row sample.  Exact kNN is O(N^2 d); instead we run a
+few randomized tree builds and, within every leaf, compute exact
+neighbors among leaf-mates, merging the best candidates across rounds.
+This is the same "greedy tree neighbors" strategy the ASKIT papers use
+and costs O(T N m d) for T rounds and leaf size m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import TreeConfig
+from repro.kernels.distances import pairwise_sq_dists
+from repro.tree.balltree import BallTree
+from repro.util.random import as_generator
+
+__all__ = ["NeighborTable", "approximate_knn"]
+
+
+@dataclass
+class NeighborTable:
+    """Per-point candidate neighbors.
+
+    Attributes
+    ----------
+    indices:
+        (N, k) array; row i holds indices of i's approximate nearest
+        neighbors, nearest first.  Self-neighbors are excluded.
+    sq_dists:
+        Matching squared distances.
+    """
+
+    indices: np.ndarray
+    sq_dists: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return self.indices.shape[1]
+
+
+def approximate_knn(
+    X: np.ndarray,
+    k: int,
+    *,
+    n_rounds: int = 3,
+    leaf_size: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> NeighborTable:
+    """Approximate k-nearest neighbors of every row of ``X``.
+
+    Parameters
+    ----------
+    X:
+        (N, d) points.
+    k:
+        Neighbors per point (clipped to N - 1).
+    n_rounds:
+        Number of randomized tree builds to merge.
+    leaf_size:
+        Leaf size of the search trees; defaults to ``max(2k + 1, 32)``.
+    seed:
+        RNG seed (each round derives its own child seed).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 points for neighbor search")
+    k = min(k, n - 1)
+    if k == 0:
+        raise ValueError("k must be >= 1")
+    if leaf_size is None:
+        leaf_size = max(2 * k + 1, 32)
+    rng = as_generator(seed)
+
+    best_d = np.full((n, k), np.inf)
+    best_i = np.full((n, k), -1, dtype=np.intp)
+
+    for _ in range(max(1, n_rounds)):
+        tree = BallTree(X, TreeConfig(leaf_size=leaf_size, seed=int(rng.integers(2**31))))
+        for leaf in tree.leaves():
+            ids = tree.perm[leaf.lo : leaf.hi]
+            pts = tree.points[leaf.lo : leaf.hi]
+            D2 = pairwise_sq_dists(pts, pts)
+            np.fill_diagonal(D2, np.inf)
+            kk = min(k, len(ids) - 1)
+            if kk < 1:
+                continue
+            part = np.argpartition(D2, kk - 1, axis=1)[:, :kk]
+            cand_d = np.take_along_axis(D2, part, axis=1)
+            cand_i = ids[part]
+            # merge candidates with the running best set per point,
+            # keeping at most one occurrence of each neighbor index.
+            rows = ids
+            merged_d = np.concatenate([best_d[rows], cand_d], axis=1)
+            merged_i = np.concatenate([best_i[rows], cand_i], axis=1)
+            order = np.argsort(merged_d, axis=1, kind="stable")
+            md = np.take_along_axis(merged_d, order, axis=1)
+            mi = np.take_along_axis(merged_i, order, axis=1)
+            # mark every repeated index (rows are distance-sorted, so a
+            # stable index-sort keeps the nearest occurrence first).
+            by_idx = np.argsort(mi, axis=1, kind="stable")
+            si = np.take_along_axis(mi, by_idx, axis=1)
+            dup_sorted = np.zeros(si.shape, dtype=bool)
+            dup_sorted[:, 1:] = si[:, 1:] == si[:, :-1]
+            dup = np.zeros_like(dup_sorted)
+            np.put_along_axis(dup, by_idx, dup_sorted, axis=1)
+            md[dup] = np.inf
+            keep = np.argsort(md, axis=1, kind="stable")[:, :k]
+            best_d[rows] = np.take_along_axis(md, keep, axis=1)
+            best_i[rows] = np.take_along_axis(mi, keep, axis=1)
+
+    # fill any remaining holes with random distinct points.
+    holes = np.nonzero(best_i < 0)
+    if len(holes[0]):
+        for r, c in zip(*holes):
+            while True:
+                j = int(rng.integers(n))
+                if j != r and j not in best_i[r]:
+                    break
+            best_i[r, c] = j
+            diff = X[r] - X[j]
+            best_d[r, c] = float(diff @ diff)
+
+    return NeighborTable(indices=best_i, sq_dists=best_d)

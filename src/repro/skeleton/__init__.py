@@ -1,0 +1,32 @@
+"""Skeletonization: interpolative decomposition + Algorithm II.1.
+
+A node's *skeleton* is a subset of its columns that spans (to tolerance
+``tau``) the off-diagonal rows ``K_{S alpha}``; the interpolative
+decomposition also yields the projection ``P`` with
+``K_{S alpha} ~= K_{S alpha~} P``.  Skeletons nest: an internal node's
+skeleton is chosen from the union of its children's skeletons, which is
+what makes the telescoping factorization possible.
+"""
+
+from repro.skeleton.id import IDResult, interpolative_decomposition
+from repro.skeleton.skeletonize import (
+    NodeSkeleton,
+    SkeletonSet,
+    skeletonize,
+    skeletonize_node,
+    prepare_sampling,
+    effective_level_stop,
+)
+from repro.skeleton.frontier import compute_frontier
+
+__all__ = [
+    "IDResult",
+    "interpolative_decomposition",
+    "NodeSkeleton",
+    "SkeletonSet",
+    "skeletonize",
+    "skeletonize_node",
+    "prepare_sampling",
+    "effective_level_stop",
+    "compute_frontier",
+]

@@ -1,0 +1,52 @@
+"""Skeletonization frontier (paper section II-C, Figure 2).
+
+The frontier ``A`` is the antichain of *deepest-skeletonized* nodes:
+skeletonized nodes whose parent is not skeletonized.  Everything at or
+below the frontier can be factorized directly; everything above it is
+coalesced into the ``W``/``V`` factors of the reduced system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tree.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.skeleton.skeletonize import SkeletonSet
+
+__all__ = ["compute_frontier"]
+
+
+def compute_frontier(sset: "SkeletonSet") -> list[Node]:
+    """Frontier nodes, left to right.
+
+    Properties guaranteed (and tested): the frontier is an antichain
+    whose point ranges partition ``[0, N)``; every frontier node is
+    skeletonized; no ancestor of a frontier node is skeletonized.
+
+    For a single-leaf tree (nothing skeletonized) the frontier is the
+    root itself — the "reduced system" is then empty and the solver is
+    a plain dense LU.
+    """
+    tree = sset.tree
+    if tree.depth == 0 or not sset.skeletons:
+        return [tree.root]
+
+    frontier: list[Node] = []
+
+    def descend(node: Node) -> None:
+        if sset.is_skeletonized(node.id):
+            frontier.append(node)
+            return
+        if tree.is_leaf(node):
+            raise AssertionError(
+                f"leaf {node.id} unskeletonized — skeletonize() always "
+                "covers leaves"
+            )
+        left, right = tree.children(node)
+        descend(left)
+        descend(right)
+
+    descend(tree.root)
+    return frontier

@@ -1,0 +1,262 @@
+"""Bottom-up skeletonization of the ball tree (Algorithm II.1).
+
+Leaves are skeletonized from their own points; an internal node's
+candidate columns are the concatenation of its children's skeletons
+``[l~ r~]``, so skeletons *nest* and the projection chain telescopes.
+The root is never skeletonized (it has no off-diagonal rows).
+
+Level restriction ``L`` and the adaptive stopping rule
+(``alpha~ = l~ u r~`` means no compression happened) both leave nodes
+unskeletonized; the *frontier* of deepest skeletonized nodes is what
+the hybrid solver factorizes up to (section II-C).
+
+All indices here are tree-permuted positions into ``tree.points``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SkeletonConfig
+from repro.exceptions import NotSkeletonizedError
+from repro.kernels.base import Kernel
+from repro.sampling.importance import RowSampler
+from repro.sampling.neighbors import NeighborTable, approximate_knn
+from repro.skeleton.id import interpolative_decomposition
+from repro.tree.balltree import BallTree
+from repro.tree.node import Node
+from repro.util.random import as_generator
+
+__all__ = ["NodeSkeleton", "SkeletonSet", "skeletonize"]
+
+
+@dataclass
+class NodeSkeleton:
+    """Skeleton data of one node.
+
+    Attributes
+    ----------
+    node_id:
+        Heap id of the node.
+    skeleton:
+        Tree positions of the skeleton points ``alpha~``, shape (s,).
+    candidates:
+        Tree positions of the candidate columns the ID chose from: the
+        node's own points (leaf) or ``[l~ r~]`` (internal).
+    proj:
+        ``P_{alpha~, candidates}``, shape (s, |candidates|), such that
+        ``K_{S cand} ~= K_{S alpha~} @ proj``.
+    achieved_tol:
+        First discarded R-diagonal ratio from the ID.
+    """
+
+    node_id: int
+    skeleton: np.ndarray
+    candidates: np.ndarray
+    proj: np.ndarray
+    achieved_tol: float
+
+    @property
+    def rank(self) -> int:
+        return len(self.skeleton)
+
+
+@dataclass
+class SkeletonSet:
+    """All node skeletons of a tree plus the restriction bookkeeping."""
+
+    tree: BallTree
+    config: SkeletonConfig
+    skeletons: dict[int, NodeSkeleton] = field(default_factory=dict)
+    #: effective restriction level actually used (min(L, depth), >= 1
+    #: unless the tree is a single leaf).
+    effective_level: int = 1
+
+    def is_skeletonized(self, node_id: int) -> bool:
+        return node_id in self.skeletons
+
+    def __getitem__(self, node_id: int) -> NodeSkeleton:
+        try:
+            return self.skeletons[node_id]
+        except KeyError:
+            raise NotSkeletonizedError(
+                f"node {node_id} has no skeleton (level restriction or "
+                "adaptive stop); use the hybrid solver"
+            ) from None
+
+    def rank_of(self, node_id: int) -> int:
+        return self[node_id].rank
+
+    def frontier(self) -> list[Node]:
+        """Deepest skeletonized antichain (the paper's frontier ``A``).
+
+        Nodes that are skeletonized but whose parent is not (children of
+        the root count, since the root is never skeletonized).  The
+        frontier partitions the point set.
+        """
+        from repro.skeleton.frontier import compute_frontier
+
+        return compute_frontier(self)
+
+    def total_frontier_rank(self) -> int:
+        """Size of the coalesced reduced system ``sum_{f in A} s_f``."""
+        return sum(self[f.id].rank for f in self.frontier())
+
+    def telescoped_basis(self, node: Node) -> np.ndarray:
+        """Explicit ``P_{alpha alpha~}`` (|alpha| x s), points-to-skeleton.
+
+        Built by telescoping the per-level projections down to the
+        leaves (eq. 9's right factor chain).  Used by the dense
+        assembly, the O(N log^2 N) baseline, and tests; the O(N log N)
+        factorization never forms it.
+        """
+        sk = self[node.id]
+        if self.tree.is_leaf(node):
+            return sk.proj.T.copy()
+        left, right = self.tree.children(node)
+        sl = self[left.id].rank
+        Pl = self.telescoped_basis(left)
+        Pr = self.telescoped_basis(right)
+        top = Pl @ sk.proj[:, :sl].T
+        bot = Pr @ sk.proj[:, sl:].T
+        return np.vstack([top, bot])
+
+
+def prepare_sampling(
+    tree: BallTree,
+    config: SkeletonConfig,
+    neighbors: NeighborTable | None = None,
+) -> tuple[RowSampler, NeighborTable | None]:
+    """Derive the neighbor table and row sampler from ``config.seed``.
+
+    Factored out so the serial and distributed skeletonizations draw
+    the *same* seeds (and hence build identical skeletons).
+    """
+    rng = as_generator(config.seed)
+    if neighbors is None and config.num_neighbors > 0 and tree.n_points > 2:
+        neighbors = approximate_knn(
+            tree.points,
+            min(config.num_neighbors, tree.n_points - 1),
+            seed=int(rng.integers(2**31)),
+        )
+    elif config.num_neighbors > 0 and tree.n_points > 2:
+        rng.integers(2**31)  # keep the seed stream aligned
+    sampler = RowSampler(
+        tree.n_points,
+        neighbors,
+        config.num_samples,
+        seed=int(rng.integers(2**31)),
+    )
+    return sampler, neighbors
+
+
+def effective_level_stop(tree: BallTree, config: SkeletonConfig) -> int:
+    """Shallowest level that gets skeletonized (clamped restriction)."""
+    if tree.depth == 0:
+        return 0
+    if config.level_restriction == 0:
+        return 1
+    return max(1, min(config.level_restriction, tree.depth))
+
+
+def skeletonize_node(
+    tree: BallTree,
+    kernel: Kernel,
+    config: SkeletonConfig,
+    sampler: RowSampler,
+    node: Node,
+    candidates: np.ndarray,
+) -> NodeSkeleton | None:
+    """Skeletonize one node given its candidate columns.
+
+    Returns ``None`` when ``adaptive_stop`` triggers (no compression on
+    an internal node).  Deterministic per ``(sampler seed, node id)``.
+    """
+    rows = sampler.sample(node)
+    X = tree.points
+    G = (
+        kernel(X[rows], X[candidates])
+        if len(rows)
+        else np.zeros((0, len(candidates)))
+    )
+    result = interpolative_decomposition(
+        G,
+        tau=config.tau,
+        max_rank=config.max_rank,
+        fixed_rank=(
+            min(config.rank, len(candidates)) if config.rank is not None else None
+        ),
+    )
+    if config.adaptive_stop and not tree.is_leaf(node) and not result.compressed:
+        return None
+    return NodeSkeleton(
+        node_id=node.id,
+        skeleton=candidates[result.skeleton],
+        candidates=candidates,
+        proj=result.proj,
+        achieved_tol=result.achieved_tol,
+    )
+
+
+def skeletonize(
+    tree: BallTree,
+    kernel: Kernel,
+    config: SkeletonConfig | None = None,
+    *,
+    neighbors: NeighborTable | None = None,
+) -> SkeletonSet:
+    """Run Algorithm II.1 bottom-up over the whole tree.
+
+    Parameters
+    ----------
+    tree:
+        Built :class:`BallTree`.
+    kernel:
+        Kernel function used for the sample blocks.
+    config:
+        :class:`SkeletonConfig`; defaults are adaptive rank with
+        ``tau = 1e-5``.
+    neighbors:
+        Optional precomputed neighbor table in *tree-permuted*
+        coordinates.  When ``None`` and ``config.num_neighbors > 0``, an
+        approximate table is computed here.
+
+    Returns
+    -------
+    SkeletonSet
+    """
+    config = config or SkeletonConfig()
+    sampler, neighbors = prepare_sampling(tree, config, neighbors)
+
+    sset = SkeletonSet(tree=tree, config=config)
+    if tree.depth == 0:
+        # single-leaf tree: nothing to compress; the solver LU-factorizes
+        # the one dense block.
+        sset.effective_level = 0
+        return sset
+
+    level_stop = effective_level_stop(tree, config)
+    sset.effective_level = level_stop
+
+    for level in range(tree.depth, level_stop - 1, -1):
+        for node in tree.level_nodes(level):
+            if tree.is_leaf(node):
+                candidates = np.arange(node.lo, node.hi, dtype=np.intp)
+            else:
+                left, right = tree.children(node)
+                if not (
+                    sset.is_skeletonized(left.id) and sset.is_skeletonized(right.id)
+                ):
+                    continue  # adaptive stop propagated upward
+                candidates = np.concatenate(
+                    [sset[left.id].skeleton, sset[right.id].skeleton]
+                )
+            node_skel = skeletonize_node(tree, kernel, config, sampler, node, candidates)
+            if node_skel is None:
+                # alpha~ == l~ u r~: no compression; stop here and let the
+                # frontier sit at the children (paper, "Level restriction").
+                continue
+            sset.skeletons[node.id] = node_skel
+    return sset

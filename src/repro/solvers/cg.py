@@ -1,0 +1,100 @@
+"""Conjugate gradients for symmetric positive-definite systems.
+
+``lambda I + K`` is SPD for PSD kernels, so CG is the natural iterative
+companion to GMRES when the operator is applied symmetrically (the
+exact kernel, or a symmetrized K~).  Used by the estimator utilities
+and available as a baseline; GMRES remains the default because the
+two-sided skeleton approximation K~ is mildly nonsymmetric.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.config import GMRESConfig
+from repro.exceptions import ConvergenceWarning
+from repro.util.flops import count_flops
+
+__all__ = ["CGResult", "conjugate_gradient"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG solve."""
+
+    x: np.ndarray
+    converged: bool
+    n_iters: int
+    residuals: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+
+def conjugate_gradient(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    config: GMRESConfig | None = None,
+    *,
+    x0: np.ndarray | None = None,
+) -> CGResult:
+    """Solve SPD ``A x = b`` given ``matvec``.
+
+    Reuses :class:`~repro.config.GMRESConfig` for the tolerance and
+    iteration budget (``restart``/``reorthogonalize`` are ignored).
+    """
+    config = config or GMRESConfig()
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1:
+        raise ValueError("conjugate_gradient expects a 1-D right-hand side")
+    n = len(b)
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return CGResult(x=np.zeros(n), converged=True, n_iters=0, residuals=[0.0])
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - matvec(x) if x0 is not None else b.copy()
+    p = r.copy()
+    rs = float(r @ r)
+    residuals = [np.sqrt(rs) / bnorm]
+    converged = residuals[0] < config.tol
+    k = 0
+
+    while not converged and k < config.max_iters:
+        Ap = matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0.0:
+            warnings.warn(
+                "CG breakdown: operator is not positive definite "
+                f"(p^T A p = {pAp:.3e} at iteration {k})",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+            break
+        alpha = rs / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = float(r @ r)
+        count_flops(10 * n, label="cg")
+        k += 1
+        rel = np.sqrt(rs_new) / bnorm
+        residuals.append(rel)
+        if rel < config.tol:
+            converged = True
+            break
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+
+    if not converged and k >= config.max_iters:
+        warnings.warn(
+            f"CG stopped after {k} iterations with relative residual "
+            f"{residuals[-1]:.3e} (tol {config.tol:.1e})",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return CGResult(x=x, converged=converged, n_iters=k, residuals=residuals)

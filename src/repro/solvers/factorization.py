@@ -1,0 +1,635 @@
+"""Hierarchical factorization of ``lambda I + K~`` (paper section II-B/C).
+
+The factorization processes the tree bottom-up (Algorithm II.2):
+
+* **leaves** — dense LU of ``lambda I + K_leaf`` (LAPACK ``getrf``), and
+  ``P^_leaf = (lambda I + K_leaf)^{-1} P_leaf`` directly;
+* **internal nodes at/below the frontier** — form the reduced system
+  ``Z = I + V W`` (eq. 8) from the children's ``P^`` factors, LU it, and
+  *telescope* ``P^_alpha`` from the children via eq. (10) — no subtree
+  traversal, which is what removes the extra log factor;
+* **above the frontier** — one coalesced system over the frontier
+  skeletons, solved by dense LU (``"direct"``/``"nlogn"``) or
+  matrix-free GMRES (``"hybrid"``, Algorithm II.6).  When the frontier
+  is the root's children this coalesced system *is* the root step of
+  Algorithm II.2, so no special casing is needed.
+
+The ``"nlog2n"`` method reproduces INV-ASKIT [36]: identical ``Z``
+factors, but ``P^_alpha`` is computed by explicitly forming
+``P_{alpha alpha~}`` and running the recursive subtree solve
+(Algorithm II.3 with ``do_recur = true``), which costs an extra log
+factor.  Both methods produce the same factors to roundoff — the paper
+(and our tests) rely on that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GMRESConfig, SolverConfig
+from repro.exceptions import NotFactorizedError
+from repro.hmatrix.hmatrix import HMatrix
+from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.solvers.gmres import gmres
+from repro.solvers.stability import StabilityReport, estimate_rcond
+from repro.tree.node import Node
+from repro.util import lapack
+from repro.util.flops import count_flops
+from repro.util.validation import check_vector
+
+__all__ = [
+    "LeafFactor",
+    "InternalFactor",
+    "ReducedSystem",
+    "HierarchicalFactorization",
+    "factorize",
+]
+
+
+@dataclass
+class LeafFactor:
+    """LU of one leaf block ``lambda I + K_leaf`` plus its ``P^``."""
+
+    lu: tuple[np.ndarray, np.ndarray]
+    phat: np.ndarray | None  # (m, s) or None for a skeleton-less root leaf
+    rcond: float
+
+
+@dataclass
+class InternalFactor:
+    """Per-internal-node factors at/below the frontier.
+
+    ``z_lu`` factors eq. (8)'s ``Z = [[I, K_{l~r} P^_r], [K_{r~l} P^_l, I]]``;
+    ``vblock_l``/``vblock_r`` are the (possibly matrix-free) skeleton-row
+    blocks ``K_{l~ r}`` and ``K_{r~ l}``; ``phat`` is the telescoped
+    ``P^_{alpha alpha~}`` (None exactly at frontier-less internal use).
+    """
+
+    z_lu: tuple[np.ndarray, np.ndarray]
+    s_l: int
+    s_r: int
+    vblock_l: KernelSummation
+    vblock_r: KernelSummation
+    phat: np.ndarray | None
+    rcond: float
+
+
+@dataclass
+class ReducedSystem:
+    """The coalesced above-frontier system (paper section II-C).
+
+    ``V`` has block rows ``K_{f~ , X \\ f}`` over frontier nodes ``f``,
+    stored as per-pair blocks ``pair_blocks[(f, g)] = K_{f~ g}`` for
+    ``g != f`` (sibling pairs reuse the H-matrix's cached blocks, so
+    the frontier stage adds no kernel evaluations beyond the paper's
+    V factors).  ``W^`` is blockdiag of the frontier ``P^`` factors.
+    ``z_lu`` holds the dense LU of ``I + V W^`` for the direct methods
+    and is ``None`` for the hybrid method (GMRES instead).
+    """
+
+    frontier: list[Node]
+    slices: dict[int, slice]  # node id -> rows of the reduced system
+    size: int
+    pair_blocks: dict[tuple[int, int], KernelSummation]
+    z_lu: tuple[np.ndarray, np.ndarray] | None
+    rcond: float
+
+
+class HierarchicalFactorization:
+    """Factorized ``lambda I + K~``; created by :func:`factorize`.
+
+    All vectors are in *tree order*; the facade handles permutation.
+    """
+
+    def __init__(
+        self,
+        hmatrix: HMatrix,
+        lam: float,
+        config: SolverConfig,
+    ) -> None:
+        self.hmatrix = hmatrix
+        self.lam = float(lam)
+        self.config = config
+        self.leaf_factors: dict[int, LeafFactor] = {}
+        self.node_factors: dict[int, InternalFactor] = {}
+        self.reduced: ReducedSystem | None = None
+        self.stability = StabilityReport(
+            threshold=config.cond_threshold, enabled=config.check_stability
+        )
+        self._factored = False
+        #: GMRES iteration counts of reduced-system solves (hybrid).
+        self.reduced_iterations: list[int] = []
+        #: per-solve GMRES relative-residual histories (hybrid) — the
+        #: convergence curves of Figure 5.
+        self.reduced_histories: list[list[float]] = []
+        # low-storage solves temporarily re-materialize P^ blocks; the
+        # lock serializes concurrent solves in that mode (full-storage
+        # solves are read-only and need no coordination).
+        self._solve_lock = threading.Lock()
+
+    # -- pickling: locks are not picklable; recreate on load -------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_solve_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._solve_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _factor_leaf(self, leaf: Node) -> None:
+        h = self.hmatrix
+        A = np.array(h.leaf_block(leaf), copy=True)
+        idx = np.arange(A.shape[0])
+        A[idx, idx] += self.lam
+        anorm = float(np.linalg.norm(A, 1)) if self.config.check_stability else 0.0
+        lu = lapack.lu_factor(A)
+        count_flops(2 * A.shape[0] ** 3 // 3, label="factor_leaf_lu")
+        rcond = (
+            estimate_rcond(lu[0], anorm) if self.config.check_stability else 1.0
+        )
+        self.stability.record("leaf", leaf.id, rcond)
+
+        phat = None
+        if h.skeletons.is_skeletonized(leaf.id):
+            proj = h.skeletons[leaf.id].proj  # (s, m)
+            phat = lapack.lu_solve(lu, proj.T)
+            count_flops(2 * A.shape[0] ** 2 * proj.shape[0], label="factor_leaf_phat")
+        self.leaf_factors[leaf.id] = LeafFactor(lu=lu, phat=phat, rcond=rcond)
+
+    def _factor_internal(self, node: Node) -> None:
+        """Z assembly + P^ telescoping for one internal node (Alg. II.2)."""
+        h = self.hmatrix
+        tree = h.tree
+        left, right = tree.children(node)
+        sk_l = h.skeletons[left.id]
+        sk_r = h.skeletons[right.id]
+        s_l, s_r = sk_l.rank, sk_r.rank
+        vbl = h.sibling_block(left)  # K_{l~ r}, (s_l, |r|)
+        vbr = h.sibling_block(right)  # K_{r~ l}, (s_r, |l|)
+        phat_l = self._phat(left)
+        phat_r = self._phat(right)
+
+        # Z = I + V W (eq. 8); GEMMs through the summation blocks.
+        B_lr = vbl.matvec(phat_r)  # (s_l, s_r)
+        B_rl = vbr.matvec(phat_l)  # (s_r, s_l)
+        Z = np.empty((s_l + s_r, s_l + s_r))
+        Z[:s_l, :s_l] = np.eye(s_l)
+        Z[s_l:, s_l:] = np.eye(s_r)
+        Z[:s_l, s_l:] = B_lr
+        Z[s_l:, :s_l] = B_rl
+        anorm = float(np.linalg.norm(Z, 1)) if self.config.check_stability else 0.0
+        z_lu = lapack.lu_factor(Z)
+        count_flops(2 * (s_l + s_r) ** 3 // 3, label="factor_z_lu")
+        rcond = (
+            estimate_rcond(z_lu[0], anorm) if self.config.check_stability else 1.0
+        )
+        self.stability.record("reduced", node.id, rcond)
+
+        factor = InternalFactor(
+            z_lu=z_lu,
+            s_l=s_l,
+            s_r=s_r,
+            vblock_l=vbl,
+            vblock_r=vbr,
+            phat=None,
+            rcond=rcond,
+        )
+        self.node_factors[node.id] = factor
+
+        if h.skeletons.is_skeletonized(node.id):
+            if self.config.method == "nlog2n":
+                factor.phat = self._phat_recursive(node)
+            else:
+                factor.phat = self._phat_telescoped(node, factor, phat_l, phat_r)
+
+    def _phat(self, node: Node) -> np.ndarray:
+        if self.hmatrix.tree.is_leaf(node):
+            phat = self.leaf_factors[node.id].phat
+        else:
+            phat = self.node_factors[node.id].phat
+        if phat is None:
+            raise NotFactorizedError(
+                f"P^ of node {node.id} is not materialized (low-storage "
+                "mode: use solve(), which re-telescopes it, or storage='full')"
+            )
+        return phat
+
+    # -- low-storage mode (paper section III, "Recomputing W with (10)
+    # can reduce another sN log(N/m) to sN") --------------------------
+    def _drop_internal_phats(self, level: int) -> None:
+        """Release P^ of internal non-frontier nodes at ``level``."""
+        frontier_ids = {f.id for f in self.hmatrix.frontier}
+        tree = self.hmatrix.tree
+        for nid, factor in self.node_factors.items():
+            node = tree.node(nid)
+            if node.level == level and nid not in frontier_ids:
+                factor.phat = None
+
+    def _materialize_phats(self) -> list[InternalFactor]:
+        """Re-telescope dropped internal P^ blocks (bottom-up, eq. 10).
+
+        Returns the factors that were restored so the caller can release
+        them again after the solve.
+        """
+        tree = self.hmatrix.tree
+        restored: list[InternalFactor] = []
+        missing = [
+            (tree.node(nid), factor)
+            for nid, factor in self.node_factors.items()
+            if factor.phat is None
+            and self.hmatrix.skeletons.is_skeletonized(nid)
+        ]
+        for node, factor in sorted(missing, key=lambda nf: -nf[0].level):
+            left, right = tree.children(node)
+            factor.phat = self._phat_telescoped(
+                node, factor, self._phat(left), self._phat(right)
+            )
+            restored.append(factor)
+        return restored
+
+    @staticmethod
+    def _release_phats(restored: list[InternalFactor]) -> None:
+        for factor in restored:
+            factor.phat = None
+
+    def _phat_telescoped(
+        self,
+        node: Node,
+        factor: InternalFactor,
+        phat_l: np.ndarray,
+        phat_r: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. (10): P^_alpha from the children's P^ — no recursion."""
+        proj = self.hmatrix.skeletons[node.id].proj  # (s_a, s_l + s_r)
+        s_l = factor.s_l
+        G_l = phat_l @ proj[:, :s_l].T  # (|l|, s_a)
+        G_r = phat_r @ proj[:, s_l:].T  # (|r|, s_a)
+        count_flops(
+            2 * proj.shape[0] * (phat_l.size + phat_r.size), label="factor_telescope"
+        )
+        t = np.vstack(
+            [factor.vblock_l.matvec(G_r), factor.vblock_r.matvec(G_l)]
+        )
+        y = lapack.lu_solve(factor.z_lu, t)
+        count_flops(2 * t.shape[0] ** 2 * t.shape[1], label="factor_z_solve")
+        top = G_l - phat_l @ y[:s_l]
+        bot = G_r - phat_r @ y[s_l:]
+        count_flops(
+            2 * proj.shape[0] * (phat_l.size + phat_r.size), label="factor_telescope"
+        )
+        return np.vstack([top, bot])
+
+    def _phat_recursive(self, node: Node) -> np.ndarray:
+        """INV-ASKIT [36]: P^_alpha = Solve(alpha, P_alpha, recurse=True).
+
+        Forms the explicit telescoped basis ``P_{alpha alpha~}`` and
+        runs the full recursive subtree solve — the O(N log^2 N) path.
+        """
+        P = self.hmatrix.skeletons.telescoped_basis(node)
+        count_flops(2 * P.size * self.hmatrix.skeletons[node.id].rank, label="factor_basis")
+        return self.solve_subtree(node, P)
+
+    # ------------------------------------------------------------------
+    def _build_reduced(self) -> None:
+        """Coalesced frontier system (section II-C / root of Alg. II.2)."""
+        h = self.hmatrix
+        frontier = h.frontier
+        pts = h.tree.points
+        slices: dict[int, slice] = {}
+        offset = 0
+        skeleton_rows = []
+        for f in frontier:
+            s = h.skeletons[f.id].rank
+            slices[f.id] = slice(offset, offset + s)
+            skeleton_rows.append(h.skeletons[f.id].skeleton)
+            offset += s
+        size = offset
+        del skeleton_rows
+        method = SummationMethod(self.config.summation)
+
+        # off-diagonal pair blocks K_{f~ g}; sibling pairs reuse the
+        # blocks the per-node factorization already built/cached.
+        pair_blocks: dict[tuple[int, int], KernelSummation] = {}
+        for f in frontier:
+            for g in frontier:
+                if f.id == g.id:
+                    continue
+                if g.id == f.sibling_id:
+                    pair_blocks[(f.id, g.id)] = h.sibling_block(f)
+                else:
+                    pair_blocks[(f.id, g.id)] = KernelSummation(
+                        h.kernel,
+                        pts[h.skeletons[f.id].skeleton],
+                        h.tree.node_points(g),
+                        method,
+                    )
+
+        z_lu = None
+        rcond = 1.0
+        if self.config.method != "hybrid":
+            Z = np.eye(size)
+            for g in frontier:
+                phat_g = self._phat(g)
+                for f in frontier:
+                    if f.id == g.id:
+                        continue
+                    Z[slices[f.id], slices[g.id]] += pair_blocks[
+                        (f.id, g.id)
+                    ].matvec(phat_g)
+            anorm = float(np.linalg.norm(Z, 1)) if self.config.check_stability else 0.0
+            z_lu = lapack.lu_factor(Z)
+            count_flops(2 * size**3 // 3, label="factor_reduced_lu")
+            rcond = (
+                estimate_rcond(z_lu[0], anorm)
+                if self.config.check_stability
+                else 1.0
+            )
+            self.stability.record("frontier", 1, rcond)
+
+        self.reduced = ReducedSystem(
+            frontier=frontier,
+            slices=slices,
+            size=size,
+            pair_blocks=pair_blocks,
+            z_lu=z_lu,
+            rcond=rcond,
+        )
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def solve_subtree(self, node: Node, u: np.ndarray) -> np.ndarray:
+        """Algorithm II.3: ``w = (lambda I + K~_{node node})^{-1} u``.
+
+        ``node`` must be at or below the frontier.  ``u`` is indexed by
+        the node's points (shape ``(|node|,)`` or ``(|node|, k)``).
+        """
+        tree = self.hmatrix.tree
+        if tree.is_leaf(node):
+            w = lapack.lu_solve(self.leaf_factors[node.id].lu, u)
+            k = 1 if u.ndim == 1 else u.shape[1]
+            count_flops(2 * node.size**2 * k, label="solve_leaf")
+            return w
+        left, right = tree.children(node)
+        nl = left.size
+        w_l = self.solve_subtree(left, u[:nl])
+        w_r = self.solve_subtree(right, u[nl:])
+        factor = self.node_factors[node.id]
+        t_top = factor.vblock_l.matvec(w_r)
+        t_bot = factor.vblock_r.matvec(w_l)
+        t = np.concatenate([t_top, t_bot], axis=0)
+        y = lapack.lu_solve(factor.z_lu, t)
+        k = 1 if u.ndim == 1 else u.shape[1]
+        count_flops(2 * t.shape[0] ** 2 * k, label="solve_z")
+        phat_l = self._phat(left)
+        phat_r = self._phat(right)
+        w_l = w_l - phat_l @ y[: factor.s_l]
+        w_r = w_r - phat_r @ y[factor.s_l :]
+        count_flops(2 * (phat_l.size + phat_r.size) * k, label="solve_correct")
+        return np.concatenate([w_l, w_r], axis=0)
+
+    def _apply_v(self, x: np.ndarray) -> np.ndarray:
+        """``V x``: frontier-skeleton rows against all out-of-node points."""
+        assert self.reduced is not None
+        red = self.reduced
+        t = (
+            np.zeros(red.size)
+            if x.ndim == 1
+            else np.zeros((red.size, x.shape[1]))
+        )
+        for f in red.frontier:
+            acc = t[red.slices[f.id]]
+            for g in red.frontier:
+                if f.id == g.id:
+                    continue
+                acc += red.pair_blocks[(f.id, g.id)].matvec(x[g.lo : g.hi])
+        return t
+
+    def _apply_what(self, y: np.ndarray) -> np.ndarray:
+        """``W^ y``: scatter reduced coefficients through the P^ blocks."""
+        assert self.reduced is not None
+        red = self.reduced
+        n = self.hmatrix.n_points
+        w = (
+            np.zeros(n)
+            if y.ndim == 1
+            else np.zeros((n, y.shape[1]))
+        )
+        for f in red.frontier:
+            phat = self._phat(f)
+            w[f.lo : f.hi] = phat @ y[red.slices[f.id]]
+            count_flops(2 * phat.size * (1 if y.ndim == 1 else y.shape[1]), label="solve_what")
+        return w
+
+    def reduced_matvec(self, y: np.ndarray) -> np.ndarray:
+        """``(I + V W^) y`` — the hybrid method's GMRES operator."""
+        return y + self._apply_v(self._apply_what(y))
+
+    def _solve_reduced(self, t: np.ndarray) -> np.ndarray:
+        """Solve ``(I + V W^) y = t`` by LU (direct) or GMRES (hybrid)."""
+        assert self.reduced is not None
+        red = self.reduced
+        if red.z_lu is not None:
+            k = 1 if t.ndim == 1 else t.shape[1]
+            count_flops(2 * red.size**2 * k, label="solve_reduced")
+            return lapack.lu_solve(red.z_lu, t)
+        cfg: GMRESConfig = self.config.gmres
+        if t.ndim == 1:
+            res = gmres(self.reduced_matvec, t, cfg)
+            self.reduced_iterations.append(res.n_iters)
+            self.reduced_histories.append(res.residuals)
+            return res.x
+        cols = []
+        for j in range(t.shape[1]):
+            res = gmres(self.reduced_matvec, t[:, j], cfg)
+            self.reduced_iterations.append(res.n_iters)
+            self.reduced_histories.append(res.residuals)
+            cols.append(res.x)
+        return np.stack(cols, axis=1)
+
+    def solve(self, u: np.ndarray) -> np.ndarray:
+        """``w = (lambda I + K~)^{-1} u`` (tree order; (N,) or (N, k))."""
+        if not self._factored:
+            raise NotFactorizedError("call factorize() first")
+        h = self.hmatrix
+        u = check_vector(u, h.n_points)
+        if h.tree.depth == 0:
+            return lapack.lu_solve(self.leaf_factors[h.tree.root.id].lu, u)
+        assert self.reduced is not None
+
+        def run() -> np.ndarray:
+            x = np.empty_like(u)
+            for f in h.frontier:
+                x[f.lo : f.hi] = self.solve_subtree(f, u[f.lo : f.hi])
+            t = self._apply_v(x)
+            y = self._solve_reduced(t)
+            return x - self._apply_what(y)
+
+        if self.config.storage != "low":
+            return run()
+        with self._solve_lock:
+            restored = self._materialize_phats()
+            try:
+                return run()
+            finally:
+                self._release_phats(restored)
+
+    def slogdet(self) -> tuple[float, float]:
+        """Sign and log|det| of ``lambda I + K~`` — for free from the LUs.
+
+        By Sylvester's identity, ``det(D (I + W V)) = det(D) * det(Z)``
+        at every node, so the determinant telescopes into the leaf LUs,
+        the per-node reduced systems, and the coalesced frontier system:
+
+        ``logdet = sum_leaf logdet(lam I + K_leaf) + sum_node logdet(Z_node)
+        + logdet(Z_frontier)``.
+
+        This is what makes Gaussian-process log-marginal-likelihoods
+        O(N log N) (see :mod:`repro.learning.gp`).  Not available for
+        the hybrid method (the frontier system is never factorized).
+
+        Returns
+        -------
+        (sign, logabsdet):
+            As :func:`numpy.linalg.slogdet`.
+        """
+        if not self._factored:
+            raise NotFactorizedError("call factorize() first")
+        if self.reduced is not None and self.reduced.z_lu is None:
+            raise NotFactorizedError(
+                "slogdet requires a direct factorization; the hybrid "
+                "method never factorizes the frontier system"
+            )
+
+        sign = 1.0
+        logdet = 0.0
+
+        def accumulate(lu_piv: tuple[np.ndarray, np.ndarray]) -> None:
+            nonlocal sign, logdet
+            lu, piv = lu_piv
+            diag = np.diag(lu)
+            if np.any(diag == 0.0):
+                sign = 0.0
+                return
+            neg = int(np.count_nonzero(diag < 0))
+            # each row interchange flips the permutation sign.
+            swaps = int(np.count_nonzero(piv != np.arange(len(piv))))
+            if (neg + swaps) % 2:
+                sign = -sign
+            logdet += float(np.sum(np.log(np.abs(diag))))
+
+        for lf in self.leaf_factors.values():
+            accumulate(lf.lu)
+        for nf in self.node_factors.values():
+            accumulate(nf.z_lu)
+        if self.reduced is not None and self.reduced.z_lu is not None:
+            accumulate(self.reduced.z_lu)
+        if sign == 0.0:
+            return 0.0, -np.inf
+        return sign, logdet
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def residual(self, u: np.ndarray, w: np.ndarray) -> float:
+        """Relative residual ``||u - (lambda I + K~) w|| / ||u||`` (eq. 15)."""
+        r = u - self.hmatrix.regularized_matvec(self.lam, w)
+        un = float(np.linalg.norm(u))
+        return float(np.linalg.norm(r)) / un if un > 0 else float(np.linalg.norm(r))
+
+    def storage_words(self) -> int:
+        """Persistent float64 words held by the factorization."""
+        total = 0
+        for lf in self.leaf_factors.values():
+            total += lf.lu[0].size
+            if lf.phat is not None:
+                total += lf.phat.size
+        for nf in self.node_factors.values():
+            total += nf.z_lu[0].size
+            total += nf.vblock_l.storage_words + nf.vblock_r.storage_words
+            if nf.phat is not None:
+                total += nf.phat.size
+        if self.reduced is not None:
+            counted = set()
+            for nf in self.node_factors.values():
+                counted.add(id(nf.vblock_l))
+                counted.add(id(nf.vblock_r))
+            for block in self.reduced.pair_blocks.values():
+                if id(block) not in counted:  # sibling blocks counted above
+                    total += block.storage_words
+                    counted.add(id(block))
+            if self.reduced.z_lu is not None:
+                total += self.reduced.z_lu[0].size
+        return total
+
+
+def factorize(
+    hmatrix: HMatrix,
+    lam: float = 0.0,
+    config: SolverConfig | None = None,
+) -> HierarchicalFactorization:
+    """Factorize ``lambda I + K~`` (Algorithm II.2 / II.4 counterpart).
+
+    Parameters
+    ----------
+    hmatrix:
+        The hierarchical matrix (tree + skeletons + kernel).
+    lam:
+        Regularization ``lambda >= 0``.
+    config:
+        Method selection; see :class:`~repro.config.SolverConfig`.
+
+    Returns
+    -------
+    HierarchicalFactorization
+
+    Warns
+    -----
+    StabilityWarning
+        When a diagonal block or reduced system is ill-conditioned past
+        ``config.cond_threshold`` (paper section III detection).
+    """
+    config = config or SolverConfig()
+    if lam < 0:
+        raise ValueError(f"lambda must be >= 0; got {lam}")
+    fact = HierarchicalFactorization(hmatrix, lam, config)
+    tree = hmatrix.tree
+
+    if tree.depth == 0:
+        fact._factor_leaf(tree.root)
+        fact._factored = True
+        fact.stability.warn_if_unstable()
+        return fact
+
+    # bottom-up over nodes at/below the frontier (level-wise postorder).
+    below = hmatrix._nodes_at_or_below_frontier()
+    by_level: dict[int, list[Node]] = {}
+    for node in below:
+        by_level.setdefault(node.level, []).append(node)
+    levels = sorted(by_level, reverse=True)
+    for level in levels:
+        for node in by_level[level]:
+            if tree.is_leaf(node):
+                fact._factor_leaf(node)
+            else:
+                fact._factor_internal(node)
+        if config.storage == "low" and level + 1 in by_level:
+            # the level just below is no longer needed: its P^ blocks fed
+            # this level's Z and telescoping (paper section III memory
+            # scheme) — keep only leaf and frontier P^ persistent.
+            fact._drop_internal_phats(level + 1)
+
+    fact._build_reduced()
+    if config.storage == "low":
+        for level in levels:
+            fact._drop_internal_phats(level)
+    fact._factored = True
+    fact.stability.warn_if_unstable()
+    return fact

@@ -1,0 +1,89 @@
+"""Numerical-stability monitoring (paper section III).
+
+The factorization's pivoting is restricted to skeleton rows, so
+``lambda I + D`` can become poorly conditioned even when
+``lambda I + K`` is not — particularly for narrow bandwidths with small
+``lambda``.  The paper's method *detects* this; so do we: every LU
+(leaf blocks and reduced systems) gets an O(n^2) LAPACK ``gecon``
+reciprocal-condition estimate, and blocks past the threshold are
+recorded and reported via :class:`StabilityReport` (and a
+:class:`~repro.exceptions.StabilityWarning`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import StabilityError, StabilityWarning
+from repro.util import lapack
+
+__all__ = ["StabilityReport", "estimate_rcond"]
+
+
+def estimate_rcond(lu: np.ndarray, anorm: float) -> float:
+    """Reciprocal 1-norm condition estimate from an LU factor.
+
+    Parameters
+    ----------
+    lu:
+        The combined LU factor as returned by ``scipy.linalg.lu_factor``.
+    anorm:
+        1-norm of the original matrix.
+    """
+    if lu.size == 0:
+        return 1.0
+    rcond, info = lapack.gecon(lu, anorm)
+    if info < 0:  # pragma: no cover - lapack argument error
+        raise StabilityError(f"dgecon failed with info={info}")
+    return float(rcond)
+
+
+@dataclass
+class StabilityReport:
+    """Condition diagnostics accumulated during a factorization.
+
+    Attributes
+    ----------
+    min_rcond:
+        Worst reciprocal condition number seen across all factored
+        blocks.
+    flagged:
+        ``(kind, node_id, rcond)`` triples for blocks past the
+        threshold; ``kind`` is "leaf", "reduced", or "frontier".
+    threshold:
+        1/rcond limit above which blocks are flagged.
+    """
+
+    threshold: float = 1e12
+    min_rcond: float = 1.0
+    flagged: list[tuple[str, int, float]] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, kind: str, node_id: int, rcond: float) -> None:
+        if not self.enabled:
+            return
+        self.min_rcond = min(self.min_rcond, rcond)
+        if rcond <= 0.0 or (1.0 / max(rcond, np.finfo(np.float64).tiny)) > self.threshold:
+            self.flagged.append((kind, node_id, rcond))
+
+    @property
+    def is_stable(self) -> bool:
+        return not self.flagged
+
+    def warn_if_unstable(self) -> None:
+        """Emit one :class:`StabilityWarning` summarizing flagged blocks."""
+        if not self.flagged:
+            return
+        worst = min(self.flagged, key=lambda t: t[2])
+        warnings.warn(
+            f"{len(self.flagged)} ill-conditioned block(s) detected during "
+            f"factorization (worst: {worst[0]} node {worst[1]}, "
+            f"rcond={worst[2]:.2e}); the computed solution may be "
+            "inaccurate.  Consider a larger regularization lambda "
+            "(paper section III).",
+            StabilityWarning,
+            stacklevel=3,
+        )

@@ -1,0 +1,15 @@
+"""Ball-tree partitioning of the point set (paper section II-A).
+
+The tree induces the row/column ordering under which the kernel
+matrix's off-diagonal blocks are numerically low-rank.  Splits are
+median splits along a far-point splitting hyperplane (Omohundro ball
+tree), so the tree is a *perfect* binary tree: every leaf sits at the
+same level ``D = ceil(log2(N / m))`` and sibling subtrees differ in
+size by at most one point.
+"""
+
+from repro.tree.node import Node
+from repro.tree.balltree import BallTree
+from repro.tree.partition import split_direction, median_split
+
+__all__ = ["Node", "BallTree", "split_direction", "median_split"]

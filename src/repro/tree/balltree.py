@@ -1,0 +1,143 @@
+"""Ball-tree construction and traversal (paper section II-A).
+
+:class:`BallTree` permutes the input points into tree order once and
+keeps a contiguous copy, so every node's points are a *view*
+``tree.points[node.lo:node.hi]`` — no per-node copies, which matters
+for the blocked kernel evaluations downstream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.config import TreeConfig
+from repro.tree.node import Node
+from repro.tree.partition import median_split
+from repro.util.random import as_generator
+from repro.util.validation import check_points
+
+__all__ = ["BallTree"]
+
+
+class BallTree:
+    """Perfect binary ball tree over an (N, d) point set.
+
+    Parameters
+    ----------
+    X:
+        Input points, shape (N, d).  A permuted copy is stored; the
+        original array is not modified.
+    config:
+        :class:`~repro.config.TreeConfig` (leaf size ``m``, seed).
+
+    Attributes
+    ----------
+    depth:
+        Leaf level ``D = ceil(log2(N / m))`` (0 when N <= m).
+    perm:
+        ``perm[i]`` is the original index of the point at tree position
+        ``i`` (so ``points == X[perm]``).
+    iperm:
+        Inverse permutation: tree position of original point ``i``.
+    points:
+        (N, d) contiguous permuted copy of the input.
+    """
+
+    def __init__(self, X: np.ndarray, config: TreeConfig | None = None) -> None:
+        X = check_points(X)
+        self.config = config or TreeConfig()
+        self.n_points, self.n_dims = X.shape
+        m = self.config.leaf_size
+        if self.n_points > m:
+            depth = math.ceil(math.log2(self.n_points / m))
+            # never create more leaves than points: every leaf keeps at
+            # least one point (leaf sizes may then reach max(m, 2)).
+            self.depth = max(0, min(depth, math.floor(math.log2(self.n_points))))
+        else:
+            self.depth = 0
+
+        rng = as_generator(self.config.seed)
+        self._nodes: dict[int, Node] = {}
+        perm = np.empty(self.n_points, dtype=np.intp)
+
+        # Iterative level-by-level build (mirrors the paper's level-wise
+        # traversals and avoids recursion limits for deep trees).
+        frontier: list[tuple[int, int, int, np.ndarray]] = [
+            (1, 0, 0, np.arange(self.n_points, dtype=np.intp))
+        ]
+        while frontier:
+            next_frontier = []
+            for node_id, level, lo, idx in frontier:
+                hi = lo + len(idx)
+                self._nodes[node_id] = Node(id=node_id, level=level, lo=lo, hi=hi)
+                if level == self.depth:
+                    perm[lo:hi] = idx
+                else:
+                    left, right = median_split(X, idx, rng)
+                    next_frontier.append((2 * node_id, level + 1, lo, left))
+                    next_frontier.append((2 * node_id + 1, level + 1, lo + len(left), right))
+            frontier = next_frontier
+
+        self.perm = perm
+        self.iperm = np.empty_like(perm)
+        self.iperm[perm] = np.arange(self.n_points, dtype=np.intp)
+        self.points = np.ascontiguousarray(X[perm])
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        """Look up a node by heap id (root = 1)."""
+        return self._nodes[node_id]
+
+    @property
+    def root(self) -> Node:
+        return self._nodes[1]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def children(self, node: Node) -> tuple[Node, Node]:
+        """Left and right children (raises KeyError on leaves)."""
+        return self._nodes[node.left_id], self._nodes[node.right_id]
+
+    def is_leaf(self, node: Node) -> bool:
+        return node.level == self.depth
+
+    def level_nodes(self, level: int) -> list[Node]:
+        """All nodes at ``level``, left to right."""
+        return [self._nodes[i] for i in range(1 << level, 2 << level)]
+
+    def leaves(self) -> list[Node]:
+        return self.level_nodes(self.depth)
+
+    def postorder(self) -> Iterator[Node]:
+        """Bottom-up, level-by-level traversal (leaves first, root last).
+
+        The factorization only needs "children before parent", so the
+        level-wise order used by the paper's parallel implementation is
+        a valid postorder linearization.
+        """
+        for level in range(self.depth, -1, -1):
+            yield from self.level_nodes(level)
+
+    def ancestors(self, node: Node) -> Iterator[Node]:
+        """Proper ancestors of ``node``, nearest first."""
+        nid = node.parent_id
+        while nid >= 1:
+            yield self._nodes[nid]
+            nid //= 2
+
+    def node_points(self, node: Node) -> np.ndarray:
+        """View of the permuted points owned by ``node``."""
+        return self.points[node.lo : node.hi]
+
+    def subtree_at(self, node: Node, target_level: int) -> list[Node]:
+        """Descendants of ``node`` at absolute level ``target_level``."""
+        if target_level < node.level:
+            raise ValueError("target_level above the node")
+        span = target_level - node.level
+        first = node.id << span
+        return [self._nodes[i] for i in range(first, first + (1 << span))]

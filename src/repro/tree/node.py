@@ -1,0 +1,65 @@
+"""Tree node bookkeeping.
+
+Nodes are stored heap-ordered: the root has id 1 and node ``i`` has
+children ``2i`` and ``2i + 1``.  A node does not hold point data —
+only a ``[lo, hi)`` slice into the tree's permuted point order — so the
+whole topology is O(N/m) small objects over two contiguous arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Node"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One ball-tree node.
+
+    Attributes
+    ----------
+    id:
+        Heap index (root = 1; children of ``i`` are ``2i``, ``2i+1``).
+    level:
+        Depth, root = 0, leaves = tree depth D.
+    lo, hi:
+        Half-open slice of the tree's permuted point ordering owned by
+        this node (``|alpha| = hi - lo``).
+    """
+
+    id: int
+    level: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def left_id(self) -> int:
+        return 2 * self.id
+
+    @property
+    def right_id(self) -> int:
+        return 2 * self.id + 1
+
+    @property
+    def parent_id(self) -> int:
+        return self.id // 2
+
+    @property
+    def sibling_id(self) -> int:
+        """Heap id of the sibling (the root has none; returns 0)."""
+        if self.id == 1:
+            return 0
+        return self.id ^ 1
+
+    @property
+    def is_root(self) -> bool:
+        return self.id == 1
+
+    def indices(self):
+        """``range`` over the permuted point positions of this node."""
+        return range(self.lo, self.hi)

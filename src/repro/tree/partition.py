@@ -1,0 +1,63 @@
+"""Splitting rules for the ball tree.
+
+The paper partitions each node into two equal halves with a splitting
+hyperplane.  We use the classic far-point heuristic: pick a random
+point, walk to the farthest point from it, then to the farthest point
+from *that*; the segment between the two far points approximates the
+direction of maximum spread, and the median of the projections defines
+the hyperplane.  The heuristic costs O(|alpha| d) per node, keeping
+tree construction at O(d N log N) total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.flops import count_flops
+
+__all__ = ["split_direction", "median_split"]
+
+
+def split_direction(X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Approximate maximum-spread direction of the rows of ``X``.
+
+    Returns a unit vector.  Degenerate inputs (all points coincident)
+    yield a random unit direction so the median split still produces
+    equal halves.
+    """
+    n, d = X.shape
+    pivot = X[int(rng.integers(n))]
+    dist = np.einsum("ij,ij->i", X - pivot, X - pivot)
+    a = X[int(np.argmax(dist))]
+    dist = np.einsum("ij,ij->i", X - a, X - a)
+    b = X[int(np.argmax(dist))]
+    count_flops(6 * n * d, label="tree_split")
+    direction = a - b
+    norm = float(np.linalg.norm(direction))
+    if norm < 1e-300:
+        direction = rng.standard_normal(d)
+        norm = float(np.linalg.norm(direction))
+    return direction / norm
+
+
+def median_split(
+    X: np.ndarray, idx: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split global point indices ``idx`` into equal halves.
+
+    Points are projected on the splitting direction and partitioned at
+    the median projection.  Sizes are ``ceil(n/2)`` and ``floor(n/2)``
+    regardless of ties (``argpartition`` breaks them arbitrarily but
+    deterministically), which is what keeps all leaves at one level.
+    """
+    n = len(idx)
+    if n < 2:
+        raise ValueError("cannot split a node with fewer than 2 points")
+    direction = split_direction(X[idx], rng)
+    proj = X[idx] @ direction
+    count_flops(2 * n * X.shape[1], label="tree_split")
+    half_left = (n + 1) // 2
+    order = np.argpartition(proj, half_left - 1)
+    left = idx[order[:half_left]]
+    right = idx[order[half_left:]]
+    return left, right

@@ -1,0 +1,27 @@
+"""Shared utilities: instrumentation, RNG handling, validation."""
+
+from repro.util.flops import FlopCounter, current_counter, count_flops, count_mops
+from repro.util.timing import Timer, StageTimes
+from repro.util.random import as_generator
+from repro.util.validation import (
+    check_points,
+    check_vector,
+    check_positive,
+    check_nonnegative,
+    check_in,
+)
+
+__all__ = [
+    "FlopCounter",
+    "current_counter",
+    "count_flops",
+    "count_mops",
+    "Timer",
+    "StageTimes",
+    "as_generator",
+    "check_points",
+    "check_vector",
+    "check_positive",
+    "check_nonnegative",
+    "check_in",
+]

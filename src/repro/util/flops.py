@@ -1,0 +1,132 @@
+"""FLOP and memory-operation accounting.
+
+The paper's performance story (Tables I and IV, Figure 4) is told in
+GFLOPS and memory traffic.  Since this reproduction runs as pure
+numpy on one core, we *count* floating-point operations and memory
+operations at the algorithmic level and convert them to modeled node
+times with :mod:`repro.perfmodel`.  Counters are cheap (integer adds),
+thread-safe, and nestable.
+
+Usage::
+
+    with FlopCounter() as fc:
+        run_something()
+    print(fc.flops, fc.mops)
+
+Library code reports work through :func:`count_flops` /
+:func:`count_mops`, which charge every *active* counter on the current
+thread (counters nest).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["FlopCounter", "current_counter", "count_flops", "count_mops"]
+
+_local = threading.local()
+
+
+def _stack() -> list["FlopCounter"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates floating-point and memory-operation counts.
+
+    Attributes
+    ----------
+    flops:
+        Floating point operations (multiply-add counted as 2).
+    mops:
+        Memory operations, in units of 8-byte words moved to/from the
+        (modeled) slow memory.  Used by the GSKS roofline model.
+    kernel_evals:
+        Number of kernel entries K(x, y) evaluated.
+    by_label:
+        Per-label breakdown of flops for profiling tables.
+    """
+
+    flops: int = 0
+    mops: int = 0
+    kernel_evals: int = 0
+    by_label: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add_flops(self, n: int, label: str | None = None) -> None:
+        with self._lock:
+            self.flops += int(n)
+            if label is not None:
+                self.by_label[label] = self.by_label.get(label, 0) + int(n)
+
+    def add_mops(self, n: int) -> None:
+        with self._lock:
+            self.mops += int(n)
+
+    def add_kernel_evals(self, n: int) -> None:
+        with self._lock:
+            self.kernel_evals += int(n)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.flops = 0
+            self.mops = 0
+            self.kernel_evals = 0
+            self.by_label.clear()
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "FlopCounter":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        stack = _stack()
+        # Remove the most recent occurrence of *this* counter; counters
+        # may be shared across threads so the top of the stack is not
+        # guaranteed to be ``self`` after unbalanced use.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+
+    # -- cross-thread attachment -----------------------------------------
+    def attach(self) -> None:
+        """Attach this counter to the *current* thread's stack.
+
+        Virtual-MPI rank threads call this so work done on worker
+        threads is charged to the launching context's counter.
+        """
+        _stack().append(self)
+
+    def detach(self) -> None:
+        self.__exit__(None, None, None)
+
+
+def current_counter() -> FlopCounter | None:
+    """Return the innermost active counter on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def count_flops(n: int, label: str | None = None) -> None:
+    """Charge ``n`` flops to every active counter on this thread."""
+    for counter in _stack():
+        counter.add_flops(n, label)
+
+
+def count_mops(n: int) -> None:
+    """Charge ``n`` memory operations (8-byte words) to active counters."""
+    for counter in _stack():
+        counter.add_mops(n)
+
+
+def count_kernel_evals(n: int) -> None:
+    """Charge ``n`` kernel-entry evaluations to active counters."""
+    for counter in _stack():
+        counter.add_kernel_evals(n)

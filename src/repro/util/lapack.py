@@ -1,0 +1,56 @@
+"""Serialized LAPACK entry points.
+
+The factorization and the virtual-MPI/task-parallel executors call
+LAPACK from multiple Python threads.  Some OpenBLAS builds (including
+the scipy-openblas wheels) are not thread-safe for the LAPACK solve
+wrappers even with ``OPENBLAS_NUM_THREADS=1`` — concurrent ``getrs``
+calls occasionally return corrupted results (observed directly in this
+environment; upstream OpenBLAS needs ``USE_LOCKING=1`` for this).
+
+Every LAPACK call that can run on a worker thread therefore goes
+through this module, which serializes them behind one process-wide
+lock.  GEMM-class operations (``@`` / ``np.matmul``) are unaffected and
+stay lock-free, so the heavy arithmetic still overlaps; only the small
+factor/solve calls serialize.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["lu_factor", "lu_solve", "qr", "solve_triangular", "gecon"]
+
+_LOCK = threading.Lock()
+
+
+def lu_factor(A: np.ndarray):
+    """Locked ``scipy.linalg.lu_factor`` (check_finite disabled)."""
+    with _LOCK:
+        return scipy.linalg.lu_factor(A, check_finite=False)
+
+
+def lu_solve(lu_piv, b: np.ndarray) -> np.ndarray:
+    """Locked ``scipy.linalg.lu_solve`` (check_finite disabled)."""
+    with _LOCK:
+        return scipy.linalg.lu_solve(lu_piv, b, check_finite=False)
+
+
+def qr(A: np.ndarray, *, pivoting: bool = True):
+    """Locked economy QR (``dgeqp3`` when pivoting)."""
+    with _LOCK:
+        return scipy.linalg.qr(A, mode="economic", pivoting=pivoting)
+
+
+def solve_triangular(R: np.ndarray, B: np.ndarray, *, lower: bool = False):
+    """Locked triangular solve."""
+    with _LOCK:
+        return scipy.linalg.solve_triangular(R, B, lower=lower)
+
+
+def gecon(lu: np.ndarray, anorm: float):
+    """Locked LAPACK ``dgecon`` reciprocal-condition estimate."""
+    with _LOCK:
+        return scipy.linalg.lapack.dgecon(lu, anorm, norm="1")

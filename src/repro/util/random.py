@@ -1,0 +1,28 @@
+"""Seeded random-number handling.
+
+Every stochastic component (tree splits, skeleton sampling, dataset
+generators) takes a ``seed`` argument that may be ``None``, an int, or
+an existing :class:`numpy.random.Generator`; :func:`as_generator`
+normalizes it.  All randomness flows through generators so runs are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator"]
+
+
+def as_generator(
+    seed: int | list[int] | np.random.Generator | None,
+) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts anything :func:`numpy.random.default_rng` accepts — ints,
+    ``None``, int sequences (used for order-independent per-node child
+    seeds), or an existing generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

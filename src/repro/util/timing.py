@@ -1,0 +1,66 @@
+"""Wall-clock timing helpers for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimes"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class StageTimes:
+    """Named stage timings (tree build, skeletonize, factorize, solve).
+
+    Mirrors the columns the paper reports: ASKIT build time, ``Tf``
+    (factorization time) and ``Ts`` (solve time).
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def time(self, name: str):
+        """Return a context manager that accumulates into stage ``name``."""
+        outer = self
+
+        class _Stage:
+            def __enter__(self_inner):
+                self_inner._t = time.perf_counter()
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                outer.add(name, time.perf_counter() - self_inner._t)
+
+        return _Stage()
+
+    def __getitem__(self, name: str) -> float:
+        return self.stages.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())

@@ -1,0 +1,62 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "check_points",
+    "check_vector",
+    "check_positive",
+    "check_nonnegative",
+    "check_in",
+]
+
+
+def check_points(X, name: str = "X") -> np.ndarray:
+    """Validate an (N, d) float64 point matrix, converting if needed."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D (N, d); got shape {X.shape}")
+    if X.shape[0] == 0 or X.shape[1] == 0:
+        raise ConfigurationError(f"{name} must be non-empty; got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return X
+
+
+def check_vector(u, n: int | None = None, name: str = "u") -> np.ndarray:
+    """Validate a vector or (N, k) right-hand-side block of length ``n``.
+
+    Returns a float64 array with the original dimensionality preserved.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim not in (1, 2):
+        raise ConfigurationError(f"{name} must be 1-D or 2-D; got ndim={u.ndim}")
+    if n is not None and u.shape[0] != n:
+        raise ConfigurationError(
+            f"{name} has leading dimension {u.shape[0]}, expected {n}"
+        )
+    if not np.all(np.isfinite(u)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return u
+
+
+def check_positive(value, name: str):
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive; got {value!r}")
+    return value
+
+
+def check_nonnegative(value, name: str):
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be non-negative; got {value!r}")
+    return value
+
+
+def check_in(value, options, name: str):
+    if value not in options:
+        raise ConfigurationError(f"{name} must be one of {sorted(options)}; got {value!r}")
+    return value

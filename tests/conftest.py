@@ -1,0 +1,72 @@
+"""Shared fixtures: small point clouds and prebuilt hierarchical matrices.
+
+Module-scoped where construction is expensive; all seeded for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.tree import BallTree
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def points_small():
+    """400 points in 4-D with mild cluster structure."""
+    gen = np.random.default_rng(7)
+    centers = gen.standard_normal((4, 4)) * 2.0
+    X = np.concatenate(
+        [c + 0.5 * gen.standard_normal((100, 4)) for c in centers], axis=0
+    )
+    return X
+
+
+@pytest.fixture(scope="session")
+def gaussian_kernel():
+    return GaussianKernel(bandwidth=2.0)
+
+
+@pytest.fixture(scope="session")
+def tree_small(points_small):
+    return BallTree(points_small, TreeConfig(leaf_size=25, seed=3))
+
+
+@pytest.fixture(scope="session")
+def hmatrix_small(points_small, gaussian_kernel):
+    """Accurate H-matrix over the small cloud (tau = 1e-9)."""
+    return build_hmatrix(
+        points_small,
+        gaussian_kernel,
+        tree_config=TreeConfig(leaf_size=25, seed=3),
+        skeleton_config=SkeletonConfig(
+            tau=1e-9, max_rank=64, num_samples=220, num_neighbors=8, seed=5
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def hmatrix_restricted(points_small, gaussian_kernel):
+    """Same cloud with level restriction L=2 (frontier below the top)."""
+    return build_hmatrix(
+        points_small,
+        gaussian_kernel,
+        tree_config=TreeConfig(leaf_size=25, seed=3),
+        skeleton_config=SkeletonConfig(
+            tau=1e-9,
+            max_rank=64,
+            num_samples=220,
+            num_neighbors=8,
+            seed=5,
+            level_restriction=2,
+        ),
+    )

@@ -1,0 +1,142 @@
+"""Dense and Nystrom baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DenseSolver, NystromApproximation
+from repro.config import SkeletonConfig, TreeConfig
+from repro.exceptions import ConfigurationError, NotFactorizedError
+from repro.hmatrix import build_hmatrix, estimate_matrix_error
+from repro.kernels import GaussianKernel
+
+RNG = np.random.default_rng(32)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return RNG.standard_normal((500, 5))
+
+
+class TestDenseSolver:
+    def test_exact_solve(self, cloud):
+        kernel = GaussianKernel(bandwidth=2.0)
+        solver = DenseSolver(kernel).fit(cloud).factorize(0.5)
+        u = RNG.standard_normal(500)
+        w = solver.solve(u)
+        K = kernel(cloud, cloud)
+        res = np.linalg.norm(u - (K @ w + 0.5 * w)) / np.linalg.norm(u)
+        assert res < 1e-12
+
+    def test_slogdet_matches_numpy(self, cloud):
+        kernel = GaussianKernel(bandwidth=2.0)
+        solver = DenseSolver(kernel).fit(cloud).factorize(1.0)
+        K = kernel(cloud, cloud)
+        s_ref, ld_ref = np.linalg.slogdet(K + np.eye(500))
+        sign, ld = solver.slogdet()
+        assert sign == s_ref
+        assert ld == pytest.approx(ld_ref, abs=1e-8)
+
+    def test_multirhs(self, cloud):
+        solver = DenseSolver(GaussianKernel(bandwidth=2.0)).fit(cloud).factorize(0.3)
+        U = RNG.standard_normal((500, 3))
+        assert solver.solve(U).shape == (500, 3)
+
+    def test_lu_fallback(self, cloud):
+        """With lam = 0 and a smooth kernel the matrix is not numerically
+        PD: the Cholesky attempt must fall back to LU without raising."""
+        solver = DenseSolver(GaussianKernel(bandwidth=5.0)).fit(cloud)
+        solver.factorize(0.0)
+        u = RNG.standard_normal(500)
+        assert np.isfinite(solver.solve(u)).all()
+
+    def test_matvec(self, cloud):
+        kernel = GaussianKernel(bandwidth=2.0)
+        solver = DenseSolver(kernel).fit(cloud)
+        u = RNG.standard_normal(500)
+        assert np.allclose(solver.matvec(u), kernel(cloud, cloud) @ u)
+
+    def test_lifecycle_errors(self, cloud):
+        solver = DenseSolver(GaussianKernel())
+        with pytest.raises(NotFactorizedError):
+            solver.solve(np.zeros(5))
+        solver.fit(cloud)
+        with pytest.raises(NotFactorizedError):
+            solver.solve(np.zeros(500))
+        with pytest.raises(ValueError):
+            solver.factorize(-1.0)
+
+    def test_storage_quadratic(self, cloud):
+        solver = DenseSolver(GaussianKernel()).fit(cloud).factorize(1.0)
+        assert solver.storage_words() >= 2 * 500 * 500
+
+
+class TestNystrom:
+    def test_woodbury_identity(self, cloud):
+        """solve() must invert (lam I + F F^T) exactly."""
+        ny = NystromApproximation(GaussianKernel(bandwidth=2.0), rank=64, seed=0)
+        ny.fit(cloud).factorize(0.7)
+        u = RNG.standard_normal(500)
+        w = ny.solve(u)
+        back = ny.matvec(w) + 0.7 * w
+        assert np.allclose(back, u, atol=1e-9)
+
+    def test_excellent_at_large_bandwidth(self, cloud):
+        ny = NystromApproximation(GaussianKernel(bandwidth=20.0), rank=96, seed=0)
+        ny.fit(cloud)
+        assert ny.matrix_error(cloud) < 1e-6
+
+    def test_fails_at_moderate_bandwidth_where_hierarchical_works(self, cloud):
+        """The paper's motivating regime."""
+        kernel = GaussianKernel(bandwidth=1.0)
+        ny = NystromApproximation(kernel, rank=96, seed=0).fit(cloud)
+        ny_err = ny.matrix_error(cloud)
+        h = build_hmatrix(
+            cloud,
+            kernel,
+            tree_config=TreeConfig(leaf_size=64, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-8, max_rank=96, num_samples=256, num_neighbors=8, seed=2
+            ),
+        )
+        hier_err = estimate_matrix_error(h)
+        assert ny_err > 0.1  # global low rank breaks down
+        assert hier_err < ny_err / 3
+
+    def test_error_decreases_with_rank(self, cloud):
+        kernel = GaussianKernel(bandwidth=3.0)
+        errs = [
+            NystromApproximation(kernel, rank=r, seed=0).fit(cloud).matrix_error(cloud)
+            for r in (8, 64)
+        ]
+        assert errs[1] < errs[0]
+
+    def test_farthest_landmarks_distinct(self, cloud):
+        ny = NystromApproximation(
+            GaussianKernel(bandwidth=2.0), rank=32,
+            landmark_method="farthest", seed=0,
+        ).fit(cloud)
+        assert len(set(ny.landmarks.tolist())) == 32
+
+    def test_rank_clipped_to_n(self):
+        X = RNG.standard_normal((20, 2))
+        ny = NystromApproximation(GaussianKernel(), rank=50, seed=0).fit(X)
+        assert len(ny.landmarks) == 20
+
+    def test_storage_linear_in_n(self, cloud):
+        ny = NystromApproximation(GaussianKernel(bandwidth=2.0), rank=32, seed=0)
+        ny.fit(cloud).factorize(0.5)
+        assert ny.storage_words() < 500 * 40  # ~N*r, far below N^2
+
+    def test_validation(self, cloud):
+        with pytest.raises(ConfigurationError):
+            NystromApproximation(GaussianKernel(), rank=0)
+        with pytest.raises(ConfigurationError):
+            NystromApproximation(GaussianKernel(), rank=4, landmark_method="psychic")
+        ny = NystromApproximation(GaussianKernel(), rank=4)
+        with pytest.raises(NotFactorizedError):
+            ny.matvec(np.zeros(5))
+        ny.fit(cloud)
+        with pytest.raises(ConfigurationError):
+            ny.factorize(0.0)  # rank-deficient approximation needs lam > 0
+        with pytest.raises(NotFactorizedError):
+            ny.solve(np.zeros(500))

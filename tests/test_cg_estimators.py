@@ -1,0 +1,128 @@
+"""Conjugate gradients and stochastic estimators."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import GMRESConfig, SolverConfig
+from repro.exceptions import ConvergenceWarning
+from repro.solvers import (
+    conjugate_gradient,
+    effective_dof,
+    estimate_diagonal,
+    factorize,
+    hutchinson_trace,
+)
+
+RNG = np.random.default_rng(30)
+
+
+def spd_system(n=50, cond=100.0):
+    Q, _ = np.linalg.qr(RNG.standard_normal((n, n)))
+    s = np.geomspace(1.0, 1.0 / cond, n)
+    A = (Q * s) @ Q.T
+    return A, RNG.standard_normal(n)
+
+
+class TestCG:
+    def test_solves_spd(self):
+        A, b = spd_system()
+        res = conjugate_gradient(lambda v: A @ v, b, GMRESConfig(tol=1e-12, max_iters=300))
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-8)
+
+    def test_zero_rhs(self):
+        res = conjugate_gradient(lambda v: v, np.zeros(8))
+        assert res.converged and res.n_iters == 0
+
+    def test_initial_guess(self):
+        A, b = spd_system()
+        x_star = np.linalg.solve(A, b)
+        cold = conjugate_gradient(lambda v: A @ v, b, GMRESConfig(tol=1e-12, max_iters=300))
+        warm = conjugate_gradient(
+            lambda v: A @ v, b,
+            GMRESConfig(tol=1e-12, max_iters=300),
+            x0=x_star + 1e-10 * RNG.standard_normal(len(b)),
+        )
+        assert warm.converged
+        assert warm.n_iters < cold.n_iters
+
+    def test_residuals_recorded(self):
+        A, b = spd_system()
+        res = conjugate_gradient(lambda v: A @ v, b, GMRESConfig(tol=1e-10, max_iters=300))
+        assert len(res.residuals) == res.n_iters + 1
+        assert res.final_residual < 1e-10
+
+    def test_indefinite_breakdown_warns(self):
+        n = 20
+        A = -np.eye(n)
+        with pytest.warns(ConvergenceWarning, match="not positive definite"):
+            res = conjugate_gradient(lambda v: A @ v, np.ones(n))
+        assert not res.converged
+
+    def test_budget_exhaustion_warns(self):
+        A, b = spd_system(cond=1e8)
+        with pytest.warns(ConvergenceWarning):
+            res = conjugate_gradient(lambda v: A @ v, b, GMRESConfig(tol=1e-14, max_iters=3))
+        assert res.n_iters == 3
+
+    def test_rejects_2d_rhs(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(lambda v: v, np.zeros((4, 2)))
+
+
+class TestHutchinson:
+    def test_trace_unbiased(self):
+        A, _ = spd_system(n=40)
+        est = hutchinson_trace(lambda v: A @ v, 40, n_probes=400, seed=0)
+        assert est == pytest.approx(np.trace(A), rel=0.15)
+
+    def test_trace_exact_for_diagonal(self):
+        d = RNG.standard_normal(30)
+        est = hutchinson_trace(lambda v: d * v, 30, n_probes=3, seed=0)
+        # Rademacher probes are exact for diagonal operators.
+        assert est == pytest.approx(d.sum(), abs=1e-12)
+
+    def test_diagonal_estimator(self):
+        A, _ = spd_system(n=40)
+        est = estimate_diagonal(lambda v: A @ v, 40, n_probes=600, seed=0)
+        assert np.allclose(est, np.diag(A), atol=0.15)
+
+    def test_rejects_zero_probes(self):
+        with pytest.raises(ValueError):
+            hutchinson_trace(lambda v: v, 4, n_probes=0)
+        with pytest.raises(ValueError):
+            estimate_diagonal(lambda v: v, 4, n_probes=0)
+
+
+class TestEffectiveDOF:
+    def test_matches_dense_trace(self, hmatrix_small):
+        lam = 1.0
+        fact = factorize(hmatrix_small, lam)
+        n = hmatrix_small.n_points
+        D = hmatrix_small.to_dense()
+        ref = float(np.trace(D @ np.linalg.inv(D + lam * np.eye(n))))
+        est = effective_dof(fact, n_probes=200, seed=0)
+        assert est == pytest.approx(ref, rel=0.1)
+
+    def test_monotone_in_lambda(self, hmatrix_small):
+        dofs = [
+            effective_dof(factorize(hmatrix_small, lam), n_probes=60, seed=0)
+            for lam in (0.1, 1.0, 100.0)
+        ]
+        assert dofs[0] > dofs[1] > dofs[2]
+
+    def test_lambda_zero_is_full(self, hmatrix_small):
+        fact = factorize(hmatrix_small, 0.0, SolverConfig(check_stability=False))
+        assert effective_dof(fact) == hmatrix_small.n_points
+
+    def test_works_for_hybrid(self, hmatrix_restricted):
+        cfg = SolverConfig(
+            method="hybrid", gmres=GMRESConfig(tol=1e-10, max_iters=300)
+        )
+        fact = factorize(hmatrix_restricted, 2.0, cfg)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            dof = effective_dof(fact, n_probes=20, seed=0)
+        assert 0 < dof < hmatrix_restricted.n_points

@@ -1,0 +1,66 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.dataset == "normal"
+        assert args.method == "nlogn"
+
+    def test_classify_args(self):
+        args = build_parser().parse_args(
+            ["classify", "--dataset", "susy", "--n", "512"]
+        )
+        assert args.dataset == "susy" and args.n == 512
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--dataset", "imagenet"])
+
+    def test_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "covtype" in out and "paper Acc" in out
+
+    def test_solve_small(self, capsys):
+        code = main(
+            ["solve", "--dataset", "normal", "--n", "512", "--bandwidth", "4",
+             "--lam", "1", "--leaf", "64", "--smax", "32", "--neighbors", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "residual" in out and "factorize" in out
+
+    def test_solve_hybrid_small(self, capsys):
+        code = main(
+            ["solve", "--dataset", "susy", "--n", "512", "--method", "hybrid",
+             "--level", "2", "--bandwidth", "1", "--lam", "1",
+             "--leaf", "64", "--smax", "32", "--neighbors", "0"]
+        )
+        assert code == 0
+        assert "gmres_iters" in capsys.readouterr().out
+
+    def test_classify_small(self, capsys):
+        code = main(
+            ["classify", "--dataset", "covtype", "--n", "512",
+             "--bandwidth", "1.0", "--lam", "0.3",
+             "--leaf", "64", "--smax", "48", "--neighbors", "8"]
+        )
+        assert code == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_classify_unlabeled_dataset_fails(self, capsys):
+        code = main(["classify", "--dataset", "mri", "--n", "256"])
+        assert code == 2
+        assert "no labels" in capsys.readouterr().err

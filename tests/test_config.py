@@ -1,0 +1,77 @@
+"""Configuration dataclass validation."""
+
+import pytest
+
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestTreeConfig:
+    def test_defaults(self):
+        cfg = TreeConfig()
+        assert cfg.leaf_size >= 1
+
+    def test_rejects_zero_leaf(self):
+        with pytest.raises(ConfigurationError):
+            TreeConfig(leaf_size=0)
+
+    def test_frozen(self):
+        cfg = TreeConfig()
+        with pytest.raises(Exception):
+            cfg.leaf_size = 5  # type: ignore[misc]
+
+
+class TestSkeletonConfig:
+    def test_defaults_valid(self):
+        cfg = SkeletonConfig()
+        assert 0 < cfg.tau < 1
+        assert cfg.effective_rank_cap == cfg.max_rank
+
+    def test_fixed_rank_cap(self):
+        assert SkeletonConfig(rank=16).effective_rank_cap == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rank=0),
+            dict(max_rank=0),
+            dict(tau=0.0),
+            dict(tau=1.5),
+            dict(num_neighbors=-1),
+            dict(num_samples=0),
+            dict(level_restriction=-1),
+        ],
+    )
+    def test_rejects_bad(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SkeletonConfig(**kwargs)
+
+
+class TestGMRESConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [dict(tol=0.0), dict(tol=2.0), dict(max_iters=0), dict(restart=0)]
+    )
+    def test_rejects_bad(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GMRESConfig(**kwargs)
+
+    def test_restart_none_ok(self):
+        assert GMRESConfig(restart=None).restart is None
+
+
+class TestSolverConfig:
+    @pytest.mark.parametrize("method", ["nlogn", "nlog2n", "direct", "hybrid"])
+    def test_methods(self, method):
+        assert SolverConfig(method=method).method == method
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(method="magic")
+
+    def test_rejects_unknown_summation(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(summation="telepathy")
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(cond_threshold=0.5)

@@ -1,0 +1,159 @@
+"""FastKernelSolver facade: permutations, lifecycle, diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import FastKernelSolver, GaussianKernel
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import NotFactorizedError, NotSkeletonizedError
+
+RNG = np.random.default_rng(12)
+
+TREE = TreeConfig(leaf_size=30, seed=1)
+SKEL = SkeletonConfig(tau=1e-9, max_rank=64, num_samples=200, num_neighbors=8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fitted(points_small):
+    solver = FastKernelSolver(
+        GaussianKernel(bandwidth=2.0), tree_config=TREE, skeleton_config=SKEL
+    )
+    solver.fit(points_small)
+    solver.factorize(0.5)
+    return solver
+
+
+class TestUserOrderCorrectness:
+    """The facade must hide the tree permutation completely."""
+
+    def test_solve_in_user_order(self, fitted, points_small):
+        n = len(points_small)
+        u = RNG.standard_normal(n)
+        w = fitted.solve(u)
+        # residual evaluated entirely in user order:
+        back = fitted.matvec(w) + 0.5 * w
+        assert np.linalg.norm(u - back) / np.linalg.norm(u) < 1e-10
+
+    def test_matvec_matches_dense_user_order(self, fitted, points_small):
+        n = len(points_small)
+        u = RNG.standard_normal(n)
+        tree = fitted.hmatrix.tree
+        D = fitted.hmatrix.to_dense()  # tree order
+        expected = np.empty(n)
+        expected[tree.perm] = D @ u[tree.perm]
+        assert np.allclose(fitted.matvec(u), expected, atol=1e-11)
+
+    def test_permutation_roundtrip_identity(self, fitted):
+        n = fitted.n_points
+        u = RNG.standard_normal(n)
+        assert np.allclose(fitted._from_tree(fitted._to_tree(u)), u)
+
+    def test_multirhs_solve(self, fitted):
+        U = RNG.standard_normal((fitted.n_points, 3))
+        W = fitted.solve(U)
+        assert W.shape == U.shape
+        for j in range(3):
+            assert fitted.residual(U[:, j], W[:, j]) < 1e-10
+
+
+class TestLifecycle:
+    def test_solve_before_fit(self):
+        s = FastKernelSolver(GaussianKernel())
+        with pytest.raises(NotSkeletonizedError):
+            s.solve(np.zeros(4))
+        with pytest.raises(NotSkeletonizedError):
+            s.matvec(np.zeros(4))
+
+    def test_solve_before_factorize(self, points_small):
+        s = FastKernelSolver(
+            GaussianKernel(bandwidth=2.0), tree_config=TREE, skeleton_config=SKEL
+        ).fit(points_small)
+        with pytest.raises(NotFactorizedError):
+            s.solve(np.zeros(len(points_small)))
+
+    def test_refactorize_new_lambda(self, points_small):
+        s = FastKernelSolver(
+            GaussianKernel(bandwidth=2.0), tree_config=TREE, skeleton_config=SKEL
+        ).fit(points_small)
+        u = RNG.standard_normal(len(points_small))
+        s.factorize(0.1)
+        w1 = s.solve(u)
+        s.factorize(10.0)
+        w2 = s.solve(u)
+        assert np.linalg.norm(w1) > np.linalg.norm(w2)  # more regularization
+        assert s.residual(u, w2) < 1e-10
+
+    def test_fit_resets_factorization(self, points_small):
+        s = FastKernelSolver(
+            GaussianKernel(bandwidth=2.0), tree_config=TREE, skeleton_config=SKEL
+        ).fit(points_small)
+        s.factorize(0.5)
+        s.fit(points_small)
+        with pytest.raises(NotFactorizedError):
+            s.solve(np.zeros(len(points_small)))
+
+    def test_times_recorded(self, fitted):
+        assert fitted.times["tree+skeletonize"] > 0
+        assert fitted.times["factorize"] > 0
+
+
+class TestInfoAndDiagnostics:
+    def test_solve_with_info(self, fitted):
+        u = RNG.standard_normal(fitted.n_points)
+        w, info = fitted.solve_with_info(u)
+        assert info.residual < 1e-10
+        assert info.stable
+        assert info.gmres_iterations == 0  # direct method
+
+    def test_hybrid_reports_iterations(self, points_small):
+        s = FastKernelSolver(
+            GaussianKernel(bandwidth=2.0),
+            tree_config=TREE,
+            skeleton_config=SKEL,
+            solver_config=SolverConfig(
+                method="hybrid", gmres=GMRESConfig(tol=1e-10, max_iters=300)
+            ),
+        ).fit(points_small)
+        s.factorize(0.5)
+        _, info = s.solve_with_info(RNG.standard_normal(len(points_small)))
+        assert info.gmres_iterations > 0
+        assert info.residual < 1e-8
+
+    def test_diagnostics_keys(self, fitted):
+        d = fitted.diagnostics()
+        for key in (
+            "n_points", "depth", "frontier_size", "max_rank", "mean_rank",
+            "reduced_size", "factor_storage_words", "min_rcond", "stable",
+        ):
+            assert key in d
+        assert d["n_points"] == fitted.n_points
+        assert d["stable"] is True
+
+    def test_approximation_error_small(self, fitted):
+        assert fitted.approximation_error(n_probes=4) < 1e-3
+
+    def test_predict_matvec(self, fitted, points_small):
+        X_new = RNG.standard_normal((20, points_small.shape[1]))
+        w = RNG.standard_normal(fitted.n_points)
+        out = fitted.predict_matvec(X_new, w)
+        K = GaussianKernel(bandwidth=2.0)(X_new, points_small)
+        assert np.allclose(out, K @ w, atol=1e-10)
+
+    def test_regularized_matvec(self, fitted):
+        u = RNG.standard_normal(fitted.n_points)
+        assert np.allclose(
+            fitted.regularized_matvec(2.0, u), fitted.matvec(u) + 2.0 * u
+        )
+
+
+class TestLazyImport:
+    def test_fastkernelsolver_from_top_level(self):
+        import repro
+
+        assert repro.FastKernelSolver is FastKernelSolver
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing

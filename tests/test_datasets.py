@@ -1,0 +1,124 @@
+"""Dataset generators: shapes, normalization, structure, registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    load_dataset,
+    make_standin,
+    normal_embedded,
+    normalize_features,
+    paper_parameters,
+    two_class_mixture,
+)
+
+
+class TestNormalEmbedded:
+    def test_shape_and_normalization(self):
+        X = normal_embedded(500, ambient_dim=64, intrinsic_dim=6, seed=0)
+        assert X.shape == (500, 64)
+        assert np.allclose(X.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(X.std(axis=0), 1.0, atol=1e-10)
+
+    def test_low_intrinsic_dimension(self):
+        X = normal_embedded(800, ambient_dim=64, intrinsic_dim=6, noise=0.05, seed=0)
+        s = np.linalg.svd(X - X.mean(0), compute_uv=False)
+        energy = np.cumsum(s**2) / np.sum(s**2)
+        assert energy[5] > 0.9  # 6 directions carry the signal
+
+    def test_noise_zero_exact_rank(self):
+        X = normal_embedded(300, ambient_dim=32, intrinsic_dim=4, noise=0.0, seed=1)
+        s = np.linalg.svd(X, compute_uv=False)
+        assert s[4] / s[0] < 1e-10
+
+    def test_seed_reproducible(self):
+        a = normal_embedded(100, seed=7)
+        b = normal_embedded(100, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            normal_embedded(100, ambient_dim=4, intrinsic_dim=8)
+
+
+class TestMixtures:
+    def test_two_class_labels(self):
+        X, y = two_class_mixture(400, 10, seed=0)
+        assert X.shape == (400, 10)
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+        # both classes present.
+        assert 0.15 < np.mean(y == 1.0) < 0.85
+
+    def test_separable_with_zero_noise(self):
+        X, y = two_class_mixture(
+            300, 8, n_clusters=4, spread=0.1, separation=6.0, label_noise=0.0, seed=1
+        )
+        # 1-NN self-classification should be near perfect.
+        from repro.kernels.distances import pairwise_sq_dists
+
+        D = pairwise_sq_dists(X, X)
+        np.fill_diagonal(D, np.inf)
+        nn = np.argmin(D, axis=1)
+        assert np.mean(y[nn] == y) > 0.97
+
+
+class TestNormalize:
+    def test_constant_column_not_divided(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Z = normalize_features(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isclose(Z[:, 1].std(), 1.0)
+
+
+class TestStandins:
+    def test_registry_names(self):
+        assert set(DATASET_NAMES) == {
+            "covtype", "susy", "higgs", "mnist2m", "mnist8m", "mri", "normal",
+        }
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_load(self, name):
+        ds = load_dataset(name, 256, seed=0)
+        assert ds.X_train.shape == (256, ds.d)
+        params = paper_parameters(name)
+        assert params["d"] == ds.d
+        assert ds.h == params["h"] and ds.lam == params["lam"]
+
+    def test_classification_sets_have_labels(self):
+        for name in ("covtype", "susy", "higgs", "mnist2m"):
+            ds = load_dataset(name, 200, seed=0)
+            assert ds.y_train is not None and len(ds.y_train) == 200
+            assert ds.X_test is not None and ds.y_test is not None
+            assert len(ds.X_test) == len(ds.y_test) > 0
+
+    def test_point_only_sets_have_no_labels(self):
+        for name in ("mri", "mnist8m", "normal"):
+            ds = load_dataset(name, 200, seed=0)
+            assert ds.y_train is None and ds.X_test is None
+
+    def test_train_test_disjoint_generation(self):
+        ds = load_dataset("covtype", 300, n_test=100, seed=0)
+        assert ds.X_train.shape[0] == 300
+        assert ds.X_test.shape[0] == 100
+
+    def test_dimension_matches_paper(self):
+        assert load_dataset("mnist2m", 64).d == 784
+        assert load_dataset("susy", 64).d == 8
+        assert load_dataset("higgs", 64).d == 28
+        assert load_dataset("covtype", 64).d == 54
+        assert load_dataset("mri", 64).d == 128
+        assert load_dataset("normal", 64).d == 64
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_standin("mnist99", 100)
+        with pytest.raises(KeyError):
+            paper_parameters("nope")
+
+    def test_deterministic(self):
+        a = load_dataset("susy", 128, seed=3)
+        b = load_dataset("susy", 128, seed=3)
+        assert np.array_equal(a.X_train, b.X_train)
+        assert np.array_equal(a.y_train, b.y_train)

@@ -1,0 +1,102 @@
+"""Distributed skeletonization: bit-identity with serial, full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.exceptions import ConfigurationError
+from repro.hmatrix import HMatrix
+from repro.kernels import GaussianKernel
+from repro.parallel import (
+    distributed_factorize,
+    distributed_skeletonize,
+    distributed_solve,
+)
+from repro.skeleton import skeletonize
+from repro.solvers import factorize
+from repro.tree import BallTree
+
+RNG = np.random.default_rng(28)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    X = RNG.standard_normal((1024, 5))
+    tree = BallTree(X, TreeConfig(leaf_size=64, seed=1))
+    kernel = GaussianKernel(bandwidth=2.0)
+    cfg = SkeletonConfig(
+        tau=1e-6, max_rank=48, num_samples=192, num_neighbors=8, seed=3
+    )
+    serial = skeletonize(tree, kernel, cfg)
+    return tree, kernel, cfg, serial
+
+
+class TestIdentityWithSerial:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_identical_skeletons(self, setup, p):
+        tree, kernel, cfg, serial = setup
+        dist, _stats = distributed_skeletonize(tree, kernel, cfg, p)
+        assert set(dist.skeletons) == set(serial.skeletons)
+        for nid, sk in serial.skeletons.items():
+            dsk = dist.skeletons[nid]
+            assert np.array_equal(sk.skeleton, dsk.skeleton)
+            assert np.array_equal(sk.proj, dsk.proj)
+            assert np.array_equal(sk.candidates, dsk.candidates)
+
+    def test_level_restricted(self, setup):
+        tree, kernel, _cfg, _ = setup
+        cfg = SkeletonConfig(
+            tau=1e-6, max_rank=48, num_samples=128, num_neighbors=0, seed=3,
+            level_restriction=2,
+        )
+        serial = skeletonize(tree, kernel, cfg)
+        dist, _ = distributed_skeletonize(tree, kernel, cfg, 2)
+        assert set(dist.skeletons) == set(serial.skeletons)
+        assert [f.id for f in dist.frontier()] == [f.id for f in serial.frontier()]
+
+    def test_adaptive_stop(self, setup):
+        tree, kernel, _cfg, _ = setup
+        cfg = SkeletonConfig(
+            tau=1e-14, max_rank=4096, num_samples=256, num_neighbors=0, seed=3,
+            adaptive_stop=True,
+        )
+        serial = skeletonize(tree, kernel, cfg)
+        dist, _ = distributed_skeletonize(tree, kernel, cfg, 4)
+        assert set(dist.skeletons) == set(serial.skeletons)
+
+    def test_communication_grows_with_p(self, setup):
+        tree, kernel, cfg, _ = setup
+        msgs = []
+        for p in (2, 4, 8):
+            _, stats = distributed_skeletonize(tree, kernel, cfg, p)
+            msgs.append(stats.messages)
+        assert msgs[0] < msgs[1] < msgs[2]
+
+
+class TestFullDistributedPipeline:
+    def test_construct_factorize_solve(self, setup):
+        """The whole paper pipeline under virtual MPI: skeletonize,
+        factorize, solve — all distributed — vs the serial path."""
+        tree, kernel, cfg, serial = setup
+        dist_sset, _ = distributed_skeletonize(tree, kernel, cfg, 4)
+        h = HMatrix(tree, kernel, dist_sset)
+        u = RNG.standard_normal(tree.n_points)
+
+        h_serial = HMatrix(tree, kernel, serial)
+        w_serial = factorize(h_serial, 0.7).solve(u)
+
+        dist = distributed_factorize(h, 0.7, 4)
+        w, _ = distributed_solve(dist, u)
+        assert np.abs(w - w_serial).max() < 1e-10
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two(self, setup):
+        tree, kernel, cfg, _ = setup
+        with pytest.raises(ConfigurationError):
+            distributed_skeletonize(tree, kernel, cfg, 3)
+
+    def test_rejects_too_many_ranks(self, setup):
+        tree, kernel, cfg, _ = setup
+        with pytest.raises(ConfigurationError):
+            distributed_skeletonize(tree, kernel, cfg, 1 << (tree.depth + 1))

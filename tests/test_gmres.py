@@ -1,0 +1,134 @@
+"""GMRES: correctness, restarts, histories, breakdowns."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import GMRESConfig
+from repro.exceptions import ConvergenceWarning
+from repro.solvers.gmres import gmres
+
+RNG = np.random.default_rng(7)
+
+
+def make_system(n=40, cond=50.0):
+    Q, _ = np.linalg.qr(RNG.standard_normal((n, n)))
+    s = np.geomspace(1.0, 1.0 / cond, n)
+    A = (Q * s) @ Q.T + 0.1 * RNG.standard_normal((n, n)) / n
+    b = RNG.standard_normal(n)
+    return A, b
+
+
+class TestCorrectness:
+    def test_solves_well_conditioned(self):
+        A, b = make_system()
+        res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-12, max_iters=200))
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-8)
+
+    def test_identity_converges_in_one(self):
+        b = RNG.standard_normal(25)
+        res = gmres(lambda v: v, b, GMRESConfig(tol=1e-12))
+        assert res.converged and res.n_iters <= 1
+        assert np.allclose(res.x, b)
+
+    def test_zero_rhs(self):
+        res = gmres(lambda v: 2 * v, np.zeros(10))
+        assert res.converged and np.allclose(res.x, 0)
+
+    def test_with_initial_guess(self):
+        A, b = make_system()
+        x_star = np.linalg.solve(A, b)
+        res = gmres(
+            lambda v: A @ v,
+            b,
+            GMRESConfig(tol=1e-12, max_iters=100),
+            x0=x_star + 1e-6 * RNG.standard_normal(len(b)),
+        )
+        assert res.converged
+        assert res.n_iters < 30
+
+    def test_restarted_converges(self):
+        A, b = make_system(n=60, cond=30.0)
+        res = gmres(
+            lambda v: A @ v, b, GMRESConfig(tol=1e-10, max_iters=400, restart=15)
+        )
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-6)
+
+    def test_rejects_2d_rhs(self):
+        with pytest.raises(ValueError):
+            gmres(lambda v: v, np.zeros((5, 2)))
+
+
+class TestHistory:
+    def test_residuals_recorded_per_iteration(self):
+        A, b = make_system()
+        res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-10, max_iters=100))
+        assert len(res.residuals) == res.n_iters + 1
+        assert res.residuals[0] == pytest.approx(1.0)
+        assert res.final_residual < 1e-10
+
+    def test_full_gmres_residuals_monotone(self):
+        A, b = make_system()
+        res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-12, max_iters=200))
+        r = np.array(res.residuals)
+        assert (np.diff(r) <= 1e-12).all()
+
+    def test_callback_invoked(self):
+        A, b = make_system()
+        calls = []
+        gmres(
+            lambda v: A @ v,
+            b,
+            GMRESConfig(tol=1e-10, max_iters=50),
+            callback=lambda k, r: calls.append((k, r)),
+        )
+        assert calls
+        assert calls[0][0] == 1
+        assert all(r >= 0 for _, r in calls)
+
+    def test_reported_residual_matches_true(self):
+        A, b = make_system()
+        res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-9, max_iters=100))
+        true = np.linalg.norm(b - A @ res.x) / np.linalg.norm(b)
+        assert true == pytest.approx(res.final_residual, abs=1e-8)
+
+
+class TestHardCases:
+    def test_nonconvergence_warns(self):
+        A, b = make_system(n=50, cond=1e8)
+        with pytest.warns(ConvergenceWarning):
+            res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-14, max_iters=5))
+        assert not res.converged
+        assert res.n_iters == 5
+
+    def test_reorthogonalization_helps_accuracy(self):
+        A, b = make_system(n=80, cond=1e6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            res_cgs2 = gmres(
+                lambda v: A @ v,
+                b,
+                GMRESConfig(tol=1e-13, max_iters=80, reorthogonalize=True),
+            )
+            res_mgs = gmres(
+                lambda v: A @ v,
+                b,
+                GMRESConfig(tol=1e-13, max_iters=80, reorthogonalize=False),
+            )
+        # both should reach small residuals; CGS2 must not be worse by much.
+        assert res_cgs2.final_residual <= 10 * res_mgs.final_residual
+
+    def test_singular_operator_breaks_down_gracefully(self):
+        n = 20
+        P = np.eye(n)
+        P[-1, -1] = 0.0  # rank-deficient
+        b = np.zeros(n)
+        b[0] = 1.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            res = gmres(lambda v: P @ v, b, GMRESConfig(tol=1e-12, max_iters=50))
+        # b is in the range here, so GMRES can still converge; must not crash.
+        assert np.isfinite(res.x).all()

@@ -1,0 +1,127 @@
+"""Gaussian-process regression on the fast solver."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import NotFactorizedError
+from repro.kernels import GaussianKernel
+from repro.learning import GaussianProcessRegressor
+
+RNG = np.random.default_rng(22)
+
+TREE = TreeConfig(leaf_size=64, seed=1)
+SKEL = SkeletonConfig(tau=1e-8, max_rank=96, num_samples=256, num_neighbors=8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def gp_problem():
+    X = RNG.uniform(-2, 2, size=(600, 2))
+    f = np.sin(2 * X[:, 0]) * np.cos(X[:, 1])
+    y = f + 0.05 * RNG.standard_normal(600)
+    gp = GaussianProcessRegressor(
+        GaussianKernel(bandwidth=0.7), noise=0.05,
+        tree_config=TREE, skeleton_config=SKEL,
+    ).fit(X, y)
+    return X, y, gp
+
+
+@pytest.fixture(scope="module")
+def dense_reference(gp_problem):
+    X, y, _ = gp_problem
+    K = GaussianKernel(bandwidth=0.7)(X, X) + 0.05**2 * np.eye(len(X))
+    alpha = np.linalg.solve(K, y)
+    _s, logdet = np.linalg.slogdet(K)
+    lml = -0.5 * y @ alpha - 0.5 * logdet - 0.5 * len(y) * np.log(2 * np.pi)
+    return K, alpha, lml
+
+
+class TestPrediction:
+    def test_mean_accuracy(self, gp_problem):
+        _, _, gp = gp_problem
+        Xq = RNG.uniform(-1.8, 1.8, size=(80, 2))
+        fq = np.sin(2 * Xq[:, 0]) * np.cos(Xq[:, 1])
+        res = gp.predict(Xq)
+        rms = np.sqrt(np.mean((res.mean - fq) ** 2))
+        assert rms < 0.1
+        assert res.variance is None
+
+    def test_variance_matches_dense(self, gp_problem, dense_reference):
+        X, _, gp = gp_problem
+        K, _, _ = dense_reference
+        Xq = RNG.uniform(-1.5, 1.5, size=(10, 2))
+        res = gp.predict(Xq, return_variance=True)
+        Kxs = GaussianKernel(bandwidth=0.7)(X, Xq)
+        v_ref = 1.0 - np.einsum("ij,ij->j", Kxs, np.linalg.solve(K, Kxs))
+        assert np.allclose(res.variance, v_ref, atol=1e-5)
+
+    def test_variance_nonnegative_and_shrinks_near_data(self, gp_problem):
+        X, _, gp = gp_problem
+        near = X[:5] + 1e-3
+        far = np.full((5, 2), 10.0)
+        v_near = gp.predict(near, return_variance=True).variance
+        v_far = gp.predict(far, return_variance=True).variance
+        assert (v_near >= 0).all() and (v_far >= 0).all()
+        assert v_near.max() < v_far.min()
+        assert np.allclose(v_far, 1.0, atol=1e-3)  # prior variance far away
+
+    def test_mean_matches_dense(self, gp_problem, dense_reference):
+        X, _, gp = gp_problem
+        _, alpha, _ = dense_reference
+        Xq = RNG.uniform(-1.5, 1.5, size=(20, 2))
+        Kq = GaussianKernel(bandwidth=0.7)(Xq, X)
+        assert np.allclose(gp.predict(Xq).mean, Kq @ alpha, atol=1e-4)
+
+
+class TestLikelihood:
+    def test_lml_matches_dense(self, gp_problem, dense_reference):
+        _, _, gp = gp_problem
+        _, _, lml_ref = dense_reference
+        assert gp.log_marginal_likelihood() == pytest.approx(lml_ref, abs=0.1)
+
+    def test_select_noise_prefers_truth(self, gp_problem):
+        X, y, _ = gp_problem
+        gp = GaussianProcessRegressor(
+            GaussianKernel(bandwidth=0.7), noise=1.0,
+            tree_config=TREE, skeleton_config=SKEL,
+        ).fit(X, y)
+        best = gp.select_noise([0.005, 0.05, 0.5])
+        assert best == 0.05  # the generating noise level
+
+    def test_lml_requires_direct_method(self):
+        X = RNG.uniform(-1, 1, size=(300, 2))
+        y = np.sin(X[:, 0])
+        gp = GaussianProcessRegressor(
+            GaussianKernel(bandwidth=0.5), noise=0.1,
+            tree_config=TREE, skeleton_config=SKEL,
+            solver_config=SolverConfig(method="hybrid"),
+        ).fit(X, y)
+        with pytest.raises(NotFactorizedError):
+            gp.log_marginal_likelihood()
+
+
+class TestLifecycle:
+    def test_predict_before_fit(self):
+        gp = GaussianProcessRegressor(GaussianKernel(), noise=0.1)
+        with pytest.raises(NotFactorizedError):
+            gp.predict(np.zeros((2, 2)))
+        with pytest.raises(NotFactorizedError):
+            gp.log_marginal_likelihood()
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(GaussianKernel(), noise=0.0)
+
+    def test_rejects_multioutput(self):
+        gp = GaussianProcessRegressor(GaussianKernel(), noise=0.1)
+        with pytest.raises(ValueError):
+            gp.fit(RNG.standard_normal((50, 2)), RNG.standard_normal((50, 2)))
+
+    def test_select_noise_rejects_nonpositive(self, gp_problem):
+        X, y, _ = gp_problem
+        gp = GaussianProcessRegressor(
+            GaussianKernel(bandwidth=0.7), noise=0.1,
+            tree_config=TREE, skeleton_config=SKEL,
+        ).fit(X, y)
+        with pytest.raises(ValueError):
+            gp.select_noise([0.1, -1.0])

@@ -1,0 +1,129 @@
+"""GSKS fused kernel summation: correctness, tiling, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import GaussianKernel, PolynomialKernel
+from repro.kernels.gsks import GSKSWorkspace, gsks_matvec
+from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.util.flops import FlopCounter
+
+RNG = np.random.default_rng(1)
+
+
+@pytest.fixture(scope="module")
+def data():
+    XA = RNG.standard_normal((137, 6))
+    XB = RNG.standard_normal((211, 6))
+    u = RNG.standard_normal(211)
+    return XA, XB, u
+
+
+class TestGSKSMatvec:
+    def test_matches_dense(self, data):
+        XA, XB, u = data
+        k = GaussianKernel(bandwidth=1.4)
+        assert np.allclose(gsks_matvec(k, XA, XB, u), k(XA, XB) @ u, atol=1e-11)
+
+    def test_tiles_smaller_than_problem(self, data):
+        XA, XB, u = data
+        k = GaussianKernel(bandwidth=1.4)
+        ws = GSKSWorkspace(tile_m=16, tile_n=32)
+        w = gsks_matvec(k, XA, XB, u, workspace=ws)
+        assert np.allclose(w, k(XA, XB) @ u, atol=1e-11)
+
+    def test_tile_exactly_problem(self, data):
+        XA, XB, u = data
+        k = GaussianKernel(bandwidth=1.4)
+        ws = GSKSWorkspace(tile_m=137, tile_n=211)
+        w = gsks_matvec(k, XA, XB, u, workspace=ws)
+        assert np.allclose(w, k(XA, XB) @ u, atol=1e-11)
+
+    def test_multiple_rhs(self, data):
+        XA, XB, _ = data
+        k = GaussianKernel(bandwidth=1.4)
+        U = RNG.standard_normal((211, 3))
+        W = gsks_matvec(k, XA, XB, U, workspace=GSKSWorkspace(32, 64))
+        assert W.shape == (137, 3)
+        assert np.allclose(W, k(XA, XB) @ U, atol=1e-11)
+
+    def test_inner_product_kernel(self, data):
+        XA, XB, u = data
+        k = PolynomialKernel(degree=2, gamma=0.5)
+        w = gsks_matvec(k, XA, XB, u, workspace=GSKSWorkspace(32, 64))
+        assert np.allclose(w, k(XA, XB) @ u, atol=1e-9)
+
+    def test_precomputed_norms(self, data):
+        XA, XB, u = data
+        k = GaussianKernel(bandwidth=1.4)
+        na = np.einsum("ij,ij->i", XA, XA)
+        nb = np.einsum("ij,ij->i", XB, XB)
+        w = gsks_matvec(k, XA, XB, u, norms_a=na, norms_b=nb)
+        assert np.allclose(w, k(XA, XB) @ u, atol=1e-11)
+
+    def test_dim_mismatch_raises(self, data):
+        XA, _, u = data
+        with pytest.raises(ValueError):
+            gsks_matvec(GaussianKernel(), XA, RNG.standard_normal((10, 3)), u[:10])
+
+    def test_rhs_mismatch_raises(self, data):
+        XA, XB, _ = data
+        with pytest.raises(ValueError):
+            gsks_matvec(GaussianKernel(), XA, XB, np.zeros(7))
+
+    def test_mops_independent_of_mn_product(self, data):
+        """The fused path's memory traffic excludes the m x n block."""
+        XA, XB, u = data
+        m, n, d = 137, 211, 6
+        with FlopCounter() as fc:
+            gsks_matvec(GaussianKernel(), XA, XB, u)
+        assert fc.mops == m * d + n * d + n + m
+
+    def test_workspace_rejects_bad_tiles(self):
+        with pytest.raises(ValueError):
+            GSKSWorkspace(tile_m=0)
+
+
+class TestKernelSummation:
+    @pytest.mark.parametrize("method", list(SummationMethod))
+    def test_all_methods_agree(self, data, method):
+        XA, XB, u = data
+        k = GaussianKernel(bandwidth=1.4)
+        ks = KernelSummation(k, XA, XB, method)
+        assert np.allclose(ks.matvec(u), k(XA, XB) @ u, atol=1e-11)
+
+    @pytest.mark.parametrize("method", list(SummationMethod))
+    def test_rmatvec(self, data, method):
+        XA, XB, _ = data
+        u = RNG.standard_normal(137)
+        k = GaussianKernel(bandwidth=1.4)
+        ks = KernelSummation(k, XA, XB, method)
+        assert np.allclose(ks.rmatvec(u), k(XA, XB).T @ u, atol=1e-11)
+
+    def test_storage_ordering(self, data):
+        """precomputed stores the block; fused only norms; reevaluate nothing."""
+        XA, XB, _ = data
+        k = GaussianKernel(bandwidth=1.4)
+        pre = KernelSummation(k, XA, XB, "precomputed").storage_words
+        fused = KernelSummation(k, XA, XB, "fused").storage_words
+        ree = KernelSummation(k, XA, XB, "reevaluate").storage_words
+        assert pre == 137 * 211
+        assert ree == 0
+        assert 0 < fused <= 137 + 211
+
+    def test_to_dense_consistent(self, data):
+        XA, XB, _ = data
+        k = GaussianKernel(bandwidth=1.4)
+        for method in SummationMethod:
+            ks = KernelSummation(k, XA, XB, method)
+            assert np.allclose(ks.to_dense(), k(XA, XB), atol=1e-12)
+
+    def test_string_method_accepted(self, data):
+        XA, XB, u = data
+        ks = KernelSummation(GaussianKernel(), XA, XB, "fused")
+        assert ks.method is SummationMethod.FUSED
+
+    def test_shape_attribute(self, data):
+        XA, XB, _ = data
+        ks = KernelSummation(GaussianKernel(), XA, XB)
+        assert ks.shape == (137, 211)

@@ -1,0 +1,146 @@
+"""HMatrix: matvec/dense consistency, accuracy, summation modes."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.hmatrix import (
+    build_hmatrix,
+    estimate_largest_singular_value,
+    estimate_matrix_error,
+)
+from repro.kernels import GaussianKernel, LaplacianKernel
+
+RNG = np.random.default_rng(6)
+
+
+class TestConsistency:
+    """matvec must agree with to_dense to roundoff — by construction."""
+
+    def test_matvec_equals_dense(self, hmatrix_small):
+        D = hmatrix_small.to_dense()
+        u = RNG.standard_normal(hmatrix_small.n_points)
+        assert np.allclose(hmatrix_small.matvec(u), D @ u, atol=1e-11)
+
+    def test_matvec_equals_dense_restricted(self, hmatrix_restricted):
+        D = hmatrix_restricted.to_dense()
+        u = RNG.standard_normal(hmatrix_restricted.n_points)
+        assert np.allclose(hmatrix_restricted.matvec(u), D @ u, atol=1e-11)
+
+    def test_multirhs(self, hmatrix_small):
+        D = hmatrix_small.to_dense()
+        U = RNG.standard_normal((hmatrix_small.n_points, 3))
+        assert np.allclose(hmatrix_small.matvec(U), D @ U, atol=1e-11)
+
+    def test_matvec_linear(self, hmatrix_small):
+        n = hmatrix_small.n_points
+        u, v = RNG.standard_normal(n), RNG.standard_normal(n)
+        lhs = hmatrix_small.matvec(2.0 * u - 3.0 * v)
+        rhs = 2.0 * hmatrix_small.matvec(u) - 3.0 * hmatrix_small.matvec(v)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_regularized_matvec(self, hmatrix_small):
+        n = hmatrix_small.n_points
+        u = RNG.standard_normal(n)
+        lam = 0.7
+        expected = hmatrix_small.matvec(u) + lam * u
+        assert np.allclose(hmatrix_small.regularized_matvec(lam, u), expected)
+
+    @pytest.mark.parametrize("summation", ["precomputed", "reevaluate", "fused"])
+    def test_summation_modes_agree(self, points_small, gaussian_kernel, summation):
+        h = build_hmatrix(
+            points_small,
+            gaussian_kernel,
+            tree_config=TreeConfig(leaf_size=25, seed=3),
+            skeleton_config=SkeletonConfig(
+                tau=1e-9, max_rank=64, num_samples=220, num_neighbors=8, seed=5
+            ),
+            summation=summation,
+        )
+        u = RNG.standard_normal(h.n_points)
+        ref = h.to_dense() @ u
+        assert np.allclose(h.matvec(u), ref, atol=1e-10)
+
+
+class TestApproximationQuality:
+    def test_relative_error_small(self, hmatrix_small, points_small, gaussian_kernel):
+        K = gaussian_kernel(hmatrix_small.tree.points, hmatrix_small.tree.points)
+        D = hmatrix_small.to_dense()
+        rel = np.linalg.norm(K - D, 2) / np.linalg.norm(K, 2)
+        assert rel < 1e-3
+
+    def test_error_improves_with_rank_budget(self, points_small, gaussian_kernel):
+        errs = []
+        for smax in (8, 25):
+            h = build_hmatrix(
+                points_small,
+                gaussian_kernel,
+                tree_config=TreeConfig(leaf_size=25, seed=3),
+                skeleton_config=SkeletonConfig(
+                    rank=smax, num_samples=200, num_neighbors=8, seed=5
+                ),
+            )
+            K = gaussian_kernel(h.tree.points, h.tree.points)
+            errs.append(
+                np.linalg.norm(K - h.to_dense(), 2) / np.linalg.norm(K, 2)
+            )
+        assert errs[1] < errs[0]
+
+    def test_laplacian_kernel_supported(self, points_small):
+        k = LaplacianKernel(bandwidth=2.0)
+        h = build_hmatrix(
+            points_small,
+            k,
+            tree_config=TreeConfig(leaf_size=25, seed=3),
+            skeleton_config=SkeletonConfig(
+                tau=1e-8, max_rank=64, num_samples=200, num_neighbors=8, seed=5
+            ),
+        )
+        u = RNG.standard_normal(h.n_points)
+        assert np.allclose(h.matvec(u), h.to_dense() @ u, atol=1e-10)
+
+
+class TestEstimators:
+    def test_sigma1_close_to_truth(self, hmatrix_small):
+        D = hmatrix_small.to_dense()
+        true = np.linalg.norm(D, 2)
+        est = estimate_largest_singular_value(hmatrix_small, n_iters=30, seed=0)
+        assert abs(est - true) / true < 0.05
+
+    def test_matrix_error_estimator_tracks_truth(self, hmatrix_small, gaussian_kernel):
+        K = gaussian_kernel(hmatrix_small.tree.points, hmatrix_small.tree.points)
+        D = hmatrix_small.to_dense()
+        true_fro = np.linalg.norm(K - D, "fro") / np.linalg.norm(K, "fro")
+        est = estimate_matrix_error(hmatrix_small, n_probes=20, seed=1)
+        assert est == pytest.approx(true_fro, rel=0.5)
+
+
+class TestStructure:
+    def test_single_leaf_matvec_exact(self, gaussian_kernel):
+        X = RNG.standard_normal((20, 3))
+        h = build_hmatrix(X, gaussian_kernel, tree_config=TreeConfig(leaf_size=32))
+        u = RNG.standard_normal(20)
+        K = gaussian_kernel(h.tree.points, h.tree.points)
+        assert np.allclose(h.matvec(u), K @ u, atol=1e-12)
+        assert np.allclose(h.to_dense(), K, atol=1e-12)
+
+    def test_storage_words_positive_and_grows(self, hmatrix_small):
+        before = hmatrix_small.storage_words()
+        u = RNG.standard_normal(hmatrix_small.n_points)
+        hmatrix_small.matvec(u)  # populates caches
+        after = hmatrix_small.storage_words()
+        assert after >= before > 0
+
+    def test_shape(self, hmatrix_small):
+        n = hmatrix_small.n_points
+        assert hmatrix_small.shape == (n, n)
+
+    def test_below_frontier_node_set(self, hmatrix_restricted):
+        ids = {n.id for n in hmatrix_restricted._below}
+        for f in hmatrix_restricted.frontier:
+            assert f.id in ids
+        # no node above the frontier is in the set.
+        min_level = min(f.level for f in hmatrix_restricted.frontier)
+        tree = hmatrix_restricted.tree
+        for nid in ids:
+            assert tree.node(nid).level >= min_level

@@ -1,0 +1,123 @@
+"""Interpolative decomposition: accuracy, rank selection, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.skeleton.id import interpolative_decomposition
+
+RNG = np.random.default_rng(4)
+
+
+def low_rank_matrix(m, n, r, decay=None):
+    A = RNG.standard_normal((m, r)) @ RNG.standard_normal((r, n))
+    if decay is not None:
+        U, s, Vt = np.linalg.svd(RNG.standard_normal((m, n)), full_matrices=False)
+        s = decay ** np.arange(len(s))
+        A = (U * s) @ Vt
+    return A
+
+
+class TestExactness:
+    def test_exact_on_low_rank(self):
+        G = low_rank_matrix(60, 40, 7)
+        res = interpolative_decomposition(G, tau=1e-12, max_rank=40)
+        assert res.rank <= 9  # numerical rank 7 (+ tolerance slack)
+        err = np.linalg.norm(G - G[:, res.skeleton] @ res.proj, 2)
+        assert err <= 1e-8 * np.linalg.norm(G, 2)
+
+    def test_identity_on_skeleton_columns(self):
+        G = RNG.standard_normal((50, 30))
+        res = interpolative_decomposition(G, fixed_rank=10)
+        assert np.allclose(res.proj[:, res.skeleton], np.eye(10), atol=1e-12)
+
+    def test_full_rank_request_is_exact(self):
+        G = RNG.standard_normal((40, 20))
+        res = interpolative_decomposition(G, fixed_rank=20)
+        assert res.rank == 20
+        assert not res.compressed
+        err = np.linalg.norm(G - G[:, res.skeleton] @ res.proj, 2)
+        assert err <= 1e-10 * np.linalg.norm(G, 2)
+
+    def test_error_tracks_tau(self):
+        G = low_rank_matrix(80, 60, 60, decay=0.5)
+        for tau in (1e-2, 1e-5, 1e-9):
+            res = interpolative_decomposition(G, tau=tau, max_rank=60)
+            err = np.linalg.norm(G - G[:, res.skeleton] @ res.proj, 2)
+            rel = err / np.linalg.norm(G, 2)
+            assert rel < 50 * tau, (tau, rel)
+
+    def test_tighter_tau_larger_rank(self):
+        G = low_rank_matrix(80, 60, 60, decay=0.6)
+        r_loose = interpolative_decomposition(G, tau=1e-2, max_rank=60).rank
+        r_tight = interpolative_decomposition(G, tau=1e-8, max_rank=60).rank
+        assert r_tight > r_loose
+
+
+class TestRankSelection:
+    def test_max_rank_cap(self):
+        G = RNG.standard_normal((60, 50))  # full rank
+        res = interpolative_decomposition(G, tau=1e-15, max_rank=12)
+        assert res.rank == 12
+
+    def test_fixed_rank_exact(self):
+        G = RNG.standard_normal((60, 50))
+        assert interpolative_decomposition(G, fixed_rank=17).rank == 17
+
+    def test_fixed_rank_clipped_to_rows(self):
+        G = RNG.standard_normal((5, 50))
+        assert interpolative_decomposition(G, fixed_rank=20).rank == 5
+
+    def test_achieved_tol_reported(self):
+        G = low_rank_matrix(60, 40, 40, decay=0.5)
+        res = interpolative_decomposition(G, tau=1e-4, max_rank=40)
+        assert 0.0 <= res.achieved_tol < 1e-3
+
+    def test_rank_at_least_one(self):
+        G = np.zeros((10, 8))
+        res = interpolative_decomposition(G, tau=1e-5)
+        assert res.rank == 1
+        # zero matrix: any skeleton reproduces it exactly.
+        assert np.allclose(G[:, res.skeleton] @ res.proj, 0.0)
+
+    def test_skeleton_indices_valid_and_unique(self):
+        G = RNG.standard_normal((40, 25))
+        res = interpolative_decomposition(G, fixed_rank=15)
+        assert len(set(res.skeleton.tolist())) == 15
+        assert res.skeleton.min() >= 0 and res.skeleton.max() < 25
+
+
+class TestEdgeCases:
+    def test_single_column(self):
+        G = RNG.standard_normal((10, 1))
+        res = interpolative_decomposition(G, tau=1e-5)
+        assert res.rank == 1 and res.proj.shape == (1, 1)
+
+    def test_single_row(self):
+        G = RNG.standard_normal((1, 10))
+        res = interpolative_decomposition(G, tau=1e-5)
+        assert res.rank == 1
+        err = np.abs(G - G[:, res.skeleton] @ res.proj).max()
+        assert err < 1e-10
+
+    def test_empty_rows(self):
+        G = np.zeros((0, 6))
+        res = interpolative_decomposition(G, tau=1e-5)
+        assert res.rank == 1  # degenerate: keep one column, zero proj tail
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            interpolative_decomposition(np.zeros(5))
+        with pytest.raises(ValueError):
+            interpolative_decomposition(np.zeros((5, 0)))
+
+    def test_rank_deficient_duplicated_columns(self):
+        col = RNG.standard_normal((30, 1))
+        G = np.tile(col, (1, 10))
+        res = interpolative_decomposition(G, tau=1e-8, max_rank=10)
+        assert res.rank == 1
+        assert np.allclose(G[:, res.skeleton] @ res.proj, G, atol=1e-10)
+
+    def test_rdiag_nonincreasing(self):
+        G = RNG.standard_normal((30, 20))
+        res = interpolative_decomposition(G, tau=1e-12, max_rank=20)
+        assert (np.diff(res.rdiag) <= 1e-10).all()

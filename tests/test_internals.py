@@ -1,0 +1,136 @@
+"""Direct tests of internal helpers that higher-level tests only cover
+indirectly: the reduced operator, sampling preparation, payload sizing."""
+
+import numpy as np
+import pytest
+
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.kernels import GaussianKernel
+from repro.parallel.vmpi.fabric import payload_bytes
+from repro.skeleton import (
+    compute_frontier,
+    effective_level_stop,
+    prepare_sampling,
+    skeletonize,
+    skeletonize_node,
+)
+from repro.solvers import factorize
+from repro.tree import BallTree
+
+RNG = np.random.default_rng(37)
+
+
+class TestReducedOperator:
+    def test_reduced_matvec_matches_dense_schur(self, hmatrix_restricted):
+        """(I + V W^) applied by the hybrid operator must equal the dense
+        matrix the direct method LU-factorizes."""
+        h = hmatrix_restricted
+        lam = 0.9
+        direct = factorize(h, lam, SolverConfig(method="direct"))
+        hybrid = factorize(
+            h, lam,
+            SolverConfig(method="hybrid", gmres=GMRESConfig(tol=1e-10, max_iters=200)),
+        )
+        m = direct.reduced.size
+        Z_dense = np.empty((m, m))
+        eye = np.eye(m)
+        for j in range(m):
+            Z_dense[:, j] = hybrid.reduced_matvec(eye[:, j])
+        # reconstruct the direct method's Z from its LU factors.
+        import scipy.linalg
+
+        lu, piv = direct.reduced.z_lu
+        L = np.tril(lu, -1) + np.eye(m)
+        U = np.triu(lu)
+        P = np.eye(m)
+        for i, p in enumerate(piv):
+            P[[i, p]] = P[[p, i]]
+        Z_direct = P.T @ L @ U
+        assert np.allclose(Z_dense, Z_direct, atol=1e-9)
+
+    def test_solve_subtree_inverts_diagonal_block(self, hmatrix_small):
+        h = hmatrix_small
+        fact = factorize(h, 0.6)
+        D = h.to_dense()
+        f = h.frontier[0]
+        block = D[f.lo : f.hi, f.lo : f.hi] + 0.6 * np.eye(f.size)
+        u = RNG.standard_normal(f.size)
+        w = fact.solve_subtree(f, u)
+        assert np.allclose(block @ w, u, atol=1e-9)
+
+
+class TestSkeletonHelpers:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return BallTree(RNG.standard_normal((256, 4)), TreeConfig(leaf_size=32, seed=1))
+
+    def test_effective_level_stop(self, tree):
+        cfg0 = SkeletonConfig(level_restriction=0)
+        assert effective_level_stop(tree, cfg0) == 1
+        cfg3 = SkeletonConfig(level_restriction=3)
+        assert effective_level_stop(tree, cfg3) == 3
+        cfg99 = SkeletonConfig(level_restriction=99)
+        assert effective_level_stop(tree, cfg99) == tree.depth
+        single = BallTree(RNG.standard_normal((10, 2)), TreeConfig(leaf_size=32))
+        assert effective_level_stop(single, cfg0) == 0
+
+    def test_prepare_sampling_deterministic(self, tree):
+        cfg = SkeletonConfig(num_neighbors=4, num_samples=64, seed=9)
+        s1, n1 = prepare_sampling(tree, cfg)
+        s2, n2 = prepare_sampling(tree, cfg)
+        assert s1.seed == s2.seed
+        assert np.array_equal(n1.indices, n2.indices)
+
+    def test_prepare_sampling_seed_stream_alignment(self, tree):
+        """Passing a precomputed table must not shift the sampler seed."""
+        cfg = SkeletonConfig(num_neighbors=4, num_samples=64, seed=9)
+        s_auto, table = prepare_sampling(tree, cfg)
+        s_given, _ = prepare_sampling(tree, cfg, table)
+        assert s_auto.seed == s_given.seed
+
+    def test_skeletonize_node_deterministic(self, tree):
+        cfg = SkeletonConfig(num_neighbors=0, num_samples=64, seed=9, tau=1e-6)
+        sampler, _ = prepare_sampling(tree, cfg)
+        kernel = GaussianKernel(bandwidth=2.0)
+        leaf = tree.leaves()[0]
+        cand = np.arange(leaf.lo, leaf.hi, dtype=np.intp)
+        a = skeletonize_node(tree, kernel, cfg, sampler, leaf, cand)
+        b = skeletonize_node(tree, kernel, cfg, sampler, leaf, cand)
+        assert np.array_equal(a.skeleton, b.skeleton)
+        assert np.array_equal(a.proj, b.proj)
+
+    def test_rank_of_and_compute_frontier(self, tree):
+        cfg = SkeletonConfig(num_neighbors=0, num_samples=64, seed=9, rank=8)
+        sset = skeletonize(tree, GaussianKernel(bandwidth=2.0), cfg)
+        assert sset.rank_of(2) == sset[2].rank == 8
+        frontier = compute_frontier(sset)
+        assert [f.id for f in frontier] == [2, 3]
+
+
+class TestPayloadBytes:
+    def test_ndarray(self):
+        assert payload_bytes(np.zeros(10)) == 80
+        assert payload_bytes(np.zeros((3, 4), dtype=np.float32)) == 48
+
+    def test_bytes_and_none(self):
+        assert payload_bytes(b"abcd") == 4
+        assert payload_bytes(None) == 0
+
+    def test_containers_sum(self):
+        assert payload_bytes((np.zeros(2), np.zeros(3))) == 40
+        assert payload_bytes([b"ab", None, np.zeros(1)]) == 10
+
+    def test_pickled_object(self):
+        assert payload_bytes({"a": 1}) > 0
+
+
+class TestKernelPrepareNorms:
+    def test_distance_kernel_returns_norms(self):
+        X = RNG.standard_normal((10, 3))
+        norms = GaussianKernel().prepare_norms(X)
+        assert np.allclose(norms, np.einsum("ij,ij->i", X, X))
+
+    def test_inner_product_kernel_returns_none(self):
+        from repro.kernels import PolynomialKernel
+
+        assert PolynomialKernel().prepare_norms(RNG.standard_normal((5, 2))) is None

@@ -1,0 +1,152 @@
+"""Kernel functions: values, symmetry, regimes, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import (
+    GaussianKernel,
+    LaplacianKernel,
+    MaternKernel,
+    PolynomialKernel,
+    kernel_by_name,
+)
+from repro.kernels.distances import pairwise_sq_dists, sq_norms
+from repro.util.flops import FlopCounter
+
+RNG = np.random.default_rng(0)
+XA = RNG.standard_normal((20, 5))
+XB = RNG.standard_normal((30, 5))
+
+ALL_KERNELS = [
+    GaussianKernel(bandwidth=1.3),
+    LaplacianKernel(bandwidth=0.8),
+    MaternKernel(bandwidth=1.1, nu=0.5),
+    MaternKernel(bandwidth=1.1, nu=1.5),
+    MaternKernel(bandwidth=1.1, nu=2.5),
+    PolynomialKernel(degree=3, gamma=0.5, coef0=1.0),
+]
+
+
+class TestDistances:
+    def test_matches_bruteforce(self):
+        D2 = pairwise_sq_dists(XA, XB)
+        ref = ((XA[:, None, :] - XB[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(D2, ref, atol=1e-12)
+
+    def test_self_distances_zero_diag(self):
+        D2 = pairwise_sq_dists(XA, XA)
+        assert np.allclose(np.diag(D2), 0.0, atol=1e-10)
+
+    def test_nonnegative_clamp(self):
+        X = np.ones((5, 3)) * 1e8  # cancellation-prone
+        D2 = pairwise_sq_dists(X, X)
+        assert (D2 >= 0).all()
+
+    def test_out_workspace(self):
+        out = np.empty((20, 30))
+        D2 = pairwise_sq_dists(XA, XB, out=out)
+        assert D2 is out
+
+    def test_out_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_dists(XA, XB, out=np.empty((3, 3)))
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_dists(XA, RNG.standard_normal((4, 7)))
+
+    def test_precomputed_norms(self):
+        D2 = pairwise_sq_dists(XA, XB, norms_a=sq_norms(XA), norms_b=sq_norms(XB))
+        assert np.allclose(D2, pairwise_sq_dists(XA, XB))
+
+
+class TestKernelValues:
+    def test_gaussian_formula(self):
+        k = GaussianKernel(bandwidth=1.5)
+        K = k(XA, XB)
+        d2 = ((XA[3] - XB[7]) ** 2).sum()
+        assert np.isclose(K[3, 7], np.exp(-0.5 * d2 / 1.5**2))
+
+    def test_laplacian_formula(self):
+        k = LaplacianKernel(bandwidth=0.7)
+        K = k(XA, XB)
+        r = np.linalg.norm(XA[0] - XB[0])
+        assert np.isclose(K[0, 0], np.exp(-r / 0.7))
+
+    def test_matern_half_equals_laplacian(self):
+        m = MaternKernel(bandwidth=0.9, nu=0.5)(XA, XB)
+        l = LaplacianKernel(bandwidth=0.9)(XA, XB)
+        assert np.allclose(m, l, atol=1e-12)
+
+    def test_matern_32_formula(self):
+        k = MaternKernel(bandwidth=1.2, nu=1.5)
+        K = k(XA, XB)
+        r = np.linalg.norm(XA[2] - XB[5])
+        z = np.sqrt(3) * r / 1.2
+        assert np.isclose(K[2, 5], (1 + z) * np.exp(-z))
+
+    def test_matern_52_formula(self):
+        k = MaternKernel(bandwidth=1.2, nu=2.5)
+        K = k(XA, XB)
+        r = np.linalg.norm(XA[2] - XB[5])
+        z = np.sqrt(5) * r / 1.2
+        assert np.isclose(K[2, 5], (1 + z + z * z / 3) * np.exp(-z))
+
+    def test_polynomial_formula(self):
+        k = PolynomialKernel(degree=2, gamma=0.3, coef0=2.0)
+        K = k(XA, XB)
+        assert np.isclose(K[1, 4], (0.3 * XA[1] @ XB[4] + 2.0) ** 2)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__ + str(getattr(k, "nu", "")))
+    def test_symmetry(self, kernel):
+        K1 = kernel(XA, XB)
+        K2 = kernel(XB, XA)
+        assert np.allclose(K1, K2.T, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS[:5], ids=lambda k: type(k).__name__ + str(getattr(k, "nu", "")))
+    def test_stationary_diag_is_one(self, kernel):
+        K = kernel(XA, XA)
+        assert np.allclose(np.diag(K), 1.0, atol=1e-12)
+        assert np.isclose(kernel.diag_value(), 1.0)
+
+
+class TestKernelRegimes:
+    def test_small_bandwidth_near_identity(self):
+        K = GaussianKernel(bandwidth=1e-3)(XA, XA)
+        assert np.allclose(K, np.eye(len(XA)), atol=1e-10)
+
+    def test_large_bandwidth_near_rank_one(self):
+        K = GaussianKernel(bandwidth=1e3)(XA, XA)
+        s = np.linalg.svd(K, compute_uv=False)
+        assert s[1] / s[0] < 1e-4
+
+
+class TestKernelInfra:
+    def test_by_name(self):
+        k = kernel_by_name("gaussian", bandwidth=0.5)
+        assert isinstance(k, GaussianKernel) and k.bandwidth == 0.5
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            kernel_by_name("sinc")
+
+    @pytest.mark.parametrize("cls", [GaussianKernel, LaplacianKernel, MaternKernel])
+    def test_rejects_nonpositive_bandwidth(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(bandwidth=0.0)
+
+    def test_matern_rejects_odd_nu(self):
+        with pytest.raises(ConfigurationError):
+            MaternKernel(nu=1.0)
+
+    def test_flops_and_evals_counted(self):
+        with FlopCounter() as fc:
+            GaussianKernel()(XA, XB)
+        assert fc.kernel_evals == 20 * 30
+        assert fc.flops > 2 * 20 * 30 * 5
+
+    def test_1d_inputs_promoted(self):
+        k = GaussianKernel()
+        K = k(XA[0], XB[0])
+        assert K.shape == (1, 1)

@@ -1,0 +1,166 @@
+"""Kernel ridge regression/classification and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.datasets import two_class_mixture
+from repro.exceptions import NotFactorizedError
+from repro.kernels import GaussianKernel
+from repro.learning import (
+    KernelRidgeClassifier,
+    KernelRidgeRegressor,
+    accuracy,
+    holdout_cross_validation,
+    relative_residual,
+)
+
+RNG = np.random.default_rng(11)
+
+FAST_TREE = TreeConfig(leaf_size=48, seed=1)
+FAST_SKEL = SkeletonConfig(
+    tau=1e-6, max_rank=64, num_samples=160, num_neighbors=8, seed=2
+)
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    X, y = two_class_mixture(
+        700, 12, n_clusters=6, spread=0.3, separation=3.0, label_noise=0.0, seed=4
+    )
+    return X[:600], y[:600], X[600:], y[600:]
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, -1, 1, 1], [1, -1, -1, 1]) == 0.75
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1])
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_relative_residual(self):
+        u = np.array([3.0, 4.0])
+        assert relative_residual(u, u) == 0.0
+        assert relative_residual(u, np.zeros(2)) == pytest.approx(1.0)
+
+
+class TestClassifier:
+    def test_high_accuracy_on_separable(self, classification_data):
+        Xtr, ytr, Xte, yte = classification_data
+        clf = KernelRidgeClassifier(
+            GaussianKernel(bandwidth=1.0),
+            lam=0.1,
+            tree_config=FAST_TREE,
+            skeleton_config=FAST_SKEL,
+        )
+        clf.fit(Xtr, ytr)
+        assert clf.train_residual < 1e-8
+        assert clf.score(Xte, yte) > 0.9
+
+    def test_predict_labels_in_pm1(self, classification_data):
+        Xtr, ytr, Xte, _ = classification_data
+        clf = KernelRidgeClassifier(
+            GaussianKernel(bandwidth=1.0), lam=0.1,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        ).fit(Xtr, ytr)
+        pred = clf.predict(Xte)
+        assert set(np.unique(pred)) <= {-1.0, 1.0}
+
+    def test_decision_function_signs_match_predict(self, classification_data):
+        Xtr, ytr, Xte, _ = classification_data
+        clf = KernelRidgeClassifier(
+            GaussianKernel(bandwidth=1.0), lam=0.1,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        ).fit(Xtr, ytr)
+        scores = clf.decision_function(Xte)
+        pred = clf.predict(Xte)
+        nz = scores != 0
+        assert np.array_equal(np.sign(scores[nz]), pred[nz])
+
+    def test_refit_reuses_skeletons(self, classification_data):
+        Xtr, ytr, Xte, yte = classification_data
+        clf = KernelRidgeClassifier(
+            GaussianKernel(bandwidth=1.0), lam=10.0,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        ).fit(Xtr, ytr)
+        h_before = clf.solver.hmatrix
+        clf.refit(ytr, lam=0.05)
+        assert clf.solver.hmatrix is h_before  # no re-skeletonization
+        assert clf.lam == 0.05
+        assert clf.score(Xte, yte) > 0.85
+
+    def test_predict_before_fit_raises(self):
+        clf = KernelRidgeClassifier(GaussianKernel())
+        with pytest.raises(NotFactorizedError):
+            clf.predict(np.zeros((3, 2)))
+        with pytest.raises(NotFactorizedError):
+            clf.refit(np.zeros(3))
+
+    def test_rejects_all_zero_labels(self):
+        clf = KernelRidgeClassifier(GaussianKernel(), tree_config=FAST_TREE)
+        with pytest.raises(ValueError):
+            clf.fit(RNG.standard_normal((50, 3)), np.zeros(50))
+
+
+class TestRegressor:
+    def test_recovers_smooth_function(self):
+        X = RNG.uniform(-1, 1, size=(500, 2))
+        f = np.sin(2 * X[:, 0]) + 0.5 * np.cos(3 * X[:, 1])
+        reg = KernelRidgeRegressor(
+            GaussianKernel(bandwidth=0.5), lam=1e-3,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        ).fit(X, f)
+        X_new = RNG.uniform(-0.9, 0.9, size=(100, 2))
+        f_new = np.sin(2 * X_new[:, 0]) + 0.5 * np.cos(3 * X_new[:, 1])
+        pred = reg.predict(X_new)
+        rms = np.sqrt(np.mean((pred - f_new) ** 2))
+        assert rms < 0.1
+
+    def test_large_lambda_shrinks_weights(self):
+        X = RNG.standard_normal((300, 3))
+        y = RNG.standard_normal(300)
+        small = KernelRidgeRegressor(
+            GaussianKernel(bandwidth=1.0), lam=0.01,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        ).fit(X, y)
+        large = KernelRidgeRegressor(
+            GaussianKernel(bandwidth=1.0), lam=100.0,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        ).fit(X, y)
+        assert np.linalg.norm(large.weights) < np.linalg.norm(small.weights)
+
+
+class TestCrossValidation:
+    def test_grid_search_finds_good_params(self, classification_data):
+        Xtr, ytr, _, _ = classification_data
+        result = holdout_cross_validation(
+            Xtr,
+            ytr,
+            bandwidths=[0.3, 1.0],
+            lambdas=[0.01, 1.0],
+            holdout_fraction=0.25,
+            seed=0,
+            tree_config=FAST_TREE,
+            skeleton_config=FAST_SKEL,
+        )
+        assert len(result.table) == 4
+        assert result.best_accuracy > 0.85
+        assert result.best_h in (0.3, 1.0)
+        assert result.best_lam in (0.01, 1.0)
+        accs = [row[2] for row in result.table]
+        assert result.best_accuracy == max(accs)
+
+    def test_rejects_empty_grid(self, classification_data):
+        Xtr, ytr, _, _ = classification_data
+        with pytest.raises(ValueError):
+            holdout_cross_validation(Xtr, ytr, [], [1.0])
+
+    def test_rejects_bad_holdout(self, classification_data):
+        Xtr, ytr, _, _ = classification_data
+        with pytest.raises(ValueError):
+            holdout_cross_validation(Xtr, ytr, [1.0], [1.0], holdout_fraction=1.5)

@@ -1,0 +1,111 @@
+"""Low-storage mode: drop internal P^, re-telescope per solve (III, Memory)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import ConfigurationError, NotFactorizedError
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import factorize
+
+RNG = np.random.default_rng(25)
+
+
+@pytest.fixture(scope="module")
+def facts(hmatrix_small):
+    full = factorize(hmatrix_small, 0.4, SolverConfig(storage="full"))
+    low = factorize(hmatrix_small, 0.4, SolverConfig(storage="low"))
+    return full, low
+
+
+class TestCorrectness:
+    def test_solutions_identical(self, hmatrix_small, facts):
+        full, low = facts
+        u = RNG.standard_normal(hmatrix_small.n_points)
+        assert np.allclose(low.solve(u), full.solve(u), atol=1e-11)
+
+    def test_repeated_solves(self, hmatrix_small, facts):
+        _, low = facts
+        u = RNG.standard_normal(hmatrix_small.n_points)
+        w1 = low.solve(u)
+        w2 = low.solve(u)  # re-materialization must be idempotent
+        assert np.array_equal(w1, w2)
+        assert low.residual(u, w1) < 1e-10
+
+    def test_multirhs(self, hmatrix_small, facts):
+        full, low = facts
+        U = RNG.standard_normal((hmatrix_small.n_points, 3))
+        assert np.allclose(low.solve(U), full.solve(U), atol=1e-11)
+
+    def test_hybrid_low_storage(self, hmatrix_restricted):
+        cfg = SolverConfig(
+            method="hybrid", storage="low",
+            gmres=GMRESConfig(tol=1e-11, max_iters=300),
+        )
+        fact = factorize(hmatrix_restricted, 0.6, cfg)
+        u = RNG.standard_normal(hmatrix_restricted.n_points)
+        w = fact.solve(u)
+        assert fact.residual(u, w) < 1e-9
+
+    def test_slogdet_unaffected(self, hmatrix_small, facts):
+        full, low = facts
+        assert low.slogdet()[1] == pytest.approx(full.slogdet()[1], abs=1e-9)
+
+
+class TestStorage:
+    def test_internal_phats_dropped(self, hmatrix_small, facts):
+        _, low = facts
+        frontier_ids = {f.id for f in hmatrix_small.frontier}
+        dropped = [
+            nf for nid, nf in low.node_factors.items()
+            if nid not in frontier_ids and nf.phat is None
+        ]
+        assert dropped  # at least the below-frontier internals
+
+    def test_phats_released_after_solve(self, hmatrix_small, facts):
+        _, low = facts
+        low.solve(RNG.standard_normal(hmatrix_small.n_points))
+        frontier_ids = {f.id for f in hmatrix_small.frontier}
+        for nid, nf in low.node_factors.items():
+            if nid not in frontier_ids:
+                assert nf.phat is None
+
+    def test_storage_strictly_smaller(self, facts):
+        full, low = facts
+        assert low.storage_words() < full.storage_words()
+
+    def test_direct_phat_access_raises_when_dropped(self, hmatrix_small, facts):
+        _, low = facts
+        tree = hmatrix_small.tree
+        frontier_ids = {f.id for f in hmatrix_small.frontier}
+        internal = next(
+            tree.node(nid) for nid in low.node_factors
+            if nid not in frontier_ids and low.node_factors[nid].phat is None
+        )
+        with pytest.raises(NotFactorizedError):
+            low._phat(internal)
+
+
+class TestValidation:
+    def test_rejects_nlog2n(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(method="nlog2n", storage="low")
+
+    def test_rejects_unknown_storage(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(storage="tape")
+
+    def test_deeper_tree_saves_more(self, points_small, gaussian_kernel):
+        """The savings are the O(sN log N) internal P^ blocks."""
+        h = build_hmatrix(
+            points_small,
+            gaussian_kernel,
+            tree_config=TreeConfig(leaf_size=13, seed=3),
+            skeleton_config=SkeletonConfig(
+                rank=12, num_samples=100, num_neighbors=0, seed=5
+            ),
+        )
+        full = factorize(h, 0.4, SolverConfig(storage="full")).storage_words()
+        low = factorize(h, 0.4, SolverConfig(storage="low")).storage_words()
+        assert low < 0.9 * full

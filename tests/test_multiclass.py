@@ -1,0 +1,104 @@
+"""One-vs-all multiclass classification."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.datasets import gaussian_mixture
+from repro.exceptions import NotFactorizedError
+from repro.kernels import GaussianKernel
+from repro.learning import OneVsAllClassifier
+
+RNG = np.random.default_rng(29)
+
+TREE = TreeConfig(leaf_size=64, seed=1)
+SKEL = SkeletonConfig(tau=1e-5, max_rank=64, num_samples=192, num_neighbors=8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def multiclass_data():
+    X, c = gaussian_mixture(
+        1000, 8, n_clusters=5, spread=0.25, separation=3.0, seed=4
+    )
+    return X[:850], c[:850], X[850:], c[850:]
+
+
+@pytest.fixture(scope="module")
+def fitted(multiclass_data):
+    Xtr, ytr, _, _ = multiclass_data
+    return OneVsAllClassifier(
+        GaussianKernel(bandwidth=1.0), lam=0.3,
+        tree_config=TREE, skeleton_config=SKEL,
+    ).fit(Xtr, ytr)
+
+
+class TestClassification:
+    def test_high_accuracy_on_separated_clusters(self, multiclass_data, fitted):
+        _, _, Xte, yte = multiclass_data
+        assert fitted.score(Xte, yte) > 0.9
+
+    def test_predict_returns_known_classes(self, multiclass_data, fitted):
+        _, ytr, Xte, _ = multiclass_data
+        pred = fitted.predict(Xte)
+        assert set(np.unique(pred)) <= set(np.unique(ytr))
+
+    def test_decision_function_shape(self, multiclass_data, fitted):
+        _, _, Xte, _ = multiclass_data
+        scores = fitted.decision_function(Xte)
+        assert scores.shape == (len(Xte), len(fitted.classes_))
+        # argmax consistency with predict.
+        assert np.array_equal(
+            fitted.classes_[np.argmax(scores, axis=1)], fitted.predict(Xte)
+        )
+
+    def test_single_factorization_for_all_classes(self, fitted):
+        """The weights come from one multi-RHS solve."""
+        assert fitted.weights.shape[1] == len(fitted.classes_)
+        assert fitted.solver.factorization is not None
+
+    def test_matches_per_class_binary_training(self, multiclass_data, fitted):
+        """Column c of the weights equals a binary one-vs-all training."""
+        Xtr, ytr, _, _ = multiclass_data
+        from repro.learning import KernelRidgeRegressor
+
+        cls = fitted.classes_[2]
+        y_bin = np.where(ytr == cls, 1.0, -1.0)
+        reg = KernelRidgeRegressor(
+            GaussianKernel(bandwidth=1.0), lam=0.3,
+            tree_config=TREE, skeleton_config=SKEL,
+        ).fit(Xtr, y_bin)
+        assert np.allclose(fitted.weights[:, 2], reg.weights, atol=1e-8)
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        clf = OneVsAllClassifier(GaussianKernel())
+        with pytest.raises(NotFactorizedError):
+            clf.predict(np.zeros((3, 2)))
+
+    def test_rejects_single_class(self):
+        clf = OneVsAllClassifier(GaussianKernel(), tree_config=TREE)
+        with pytest.raises(ValueError):
+            clf.fit(RNG.standard_normal((50, 3)), np.zeros(50))
+
+    def test_rejects_bad_label_shape(self):
+        clf = OneVsAllClassifier(GaussianKernel(), tree_config=TREE)
+        with pytest.raises(ValueError):
+            clf.fit(RNG.standard_normal((50, 3)), np.zeros((50, 2)))
+
+    def test_score_shape_mismatch(self, multiclass_data, fitted):
+        _, _, Xte, _ = multiclass_data
+        with pytest.raises(ValueError):
+            fitted.score(Xte, np.zeros(3))
+
+    def test_string_labels_supported(self):
+        X, c = gaussian_mixture(
+            300, 4, n_clusters=3, spread=0.2, separation=4.0, seed=5
+        )
+        labels = np.array(["red", "green", "blue"])[c % 3]
+        clf = OneVsAllClassifier(
+            GaussianKernel(bandwidth=1.0), lam=0.3,
+            tree_config=TREE, skeleton_config=SKEL,
+        ).fit(X, labels)
+        pred = clf.predict(X[:10])
+        assert set(pred) <= {"red", "green", "blue"}

@@ -1,0 +1,115 @@
+"""Performance models: Table I / Figure 4 shape properties."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.vmpi.fabric import CommStats
+from repro.perfmodel import (
+    HASWELL_NODE,
+    KNL_NODE,
+    ScalingModel,
+    model_gsks_summation,
+    model_reference_summation,
+)
+
+DIMS = [4, 20, 36, 68, 132, 260]
+
+
+class TestSummationModel:
+    @pytest.mark.parametrize("machine", [HASWELL_NODE, KNL_NODE], ids=["haswell", "knl"])
+    def test_gsks_beats_reference(self, machine):
+        """Table I: GSKS wins at every d, most at small d."""
+        for d in DIMS:
+            ref = model_reference_summation(machine, 16384, 16384, d)
+            gsks = model_gsks_summation(machine, 16384, 16384, d)
+            assert gsks.seconds < ref.seconds, d
+            assert gsks.gflops > ref.gflops
+
+    def test_speedup_shrinks_with_d(self):
+        """GSKS advantage is a memory-traffic effect: biggest at small d."""
+        speedups = [
+            model_reference_summation(KNL_NODE, 16384, 16384, d).seconds
+            / model_gsks_summation(KNL_NODE, 16384, 16384, d).seconds
+            for d in DIMS
+        ]
+        assert speedups[0] > speedups[-1]
+        assert speedups[0] > 3.0  # paper: 3-30x on KNL for d < 68
+
+    def test_knl_speedup_larger_than_haswell(self):
+        """KNL's worse flops:bandwidth ratio amplifies the GSKS win."""
+        d = 20
+        knl = (
+            model_reference_summation(KNL_NODE, 16384, 16384, d).seconds
+            / model_gsks_summation(KNL_NODE, 16384, 16384, d).seconds
+        )
+        hsw = (
+            model_reference_summation(HASWELL_NODE, 16384, 16384, d).seconds
+            / model_gsks_summation(HASWELL_NODE, 16384, 16384, d).seconds
+        )
+        assert knl > hsw
+
+    def test_gflops_increase_with_d(self):
+        """Both paths gain efficiency as arithmetic intensity grows."""
+        for model in (model_reference_summation, model_gsks_summation):
+            rates = [model(HASWELL_NODE, 8192, 8192, d).gflops for d in DIMS]
+            assert all(b >= a * 0.95 for a, b in zip(rates, rates[1:]))
+
+    def test_gflops_bounded_by_peak(self):
+        for machine in (HASWELL_NODE, KNL_NODE):
+            for d in DIMS:
+                g = model_gsks_summation(machine, 16384, 16384, d)
+                assert g.gflops < machine.peak_gflops
+
+    def test_useful_flops_formula(self):
+        t = model_gsks_summation(HASWELL_NODE, 100, 200, 8)
+        assert t.useful_flops == 2 * 100 * 200 * 8
+
+    def test_moved_bytes_ordering(self):
+        ref = model_reference_summation(HASWELL_NODE, 4096, 4096, 16)
+        gsks = model_gsks_summation(HASWELL_NODE, 4096, 4096, 16)
+        assert gsks.moved_bytes < ref.moved_bytes / 10
+
+
+class TestMachineSpecs:
+    def test_paper_peaks(self):
+        assert HASWELL_NODE.peak_gflops == 998.0
+        assert KNL_NODE.peak_gflops == 3046.0
+
+    def test_derived_rates(self):
+        assert HASWELL_NODE.gemm_gflops == pytest.approx(998.0 * 0.87)
+        assert KNL_NODE.fused_gflops < KNL_NODE.gemm_gflops
+
+
+class TestScalingModel:
+    def _stats(self, messages, nbytes):
+        st = CommStats()
+        st.messages = messages
+        st.bytes = nbytes
+        return st
+
+    def test_point_composition(self):
+        model = ScalingModel(HASWELL_NODE)
+        pt = model.point(4, 1e12, self._stats(100, 1e6))
+        assert pt.seconds == pt.compute_seconds + pt.comm_seconds
+        assert pt.compute_seconds > 0 and pt.comm_seconds > 0
+
+    def test_efficiency_series_starts_at_one(self):
+        model = ScalingModel(HASWELL_NODE)
+        pts = [
+            model.point(p, 1e12 / p, self._stats(10 * p, 1e5 * p))
+            for p in (1, 2, 4, 8)
+        ]
+        eff = ScalingModel.efficiency_series(pts)
+        assert eff[0] == pytest.approx(1.0)
+        # communication makes efficiency decay below 1.
+        assert all(e <= 1.0 + 1e-9 for e in eff)
+        assert eff[-1] < eff[0]
+
+    def test_perfect_scaling_without_comm(self):
+        model = ScalingModel(HASWELL_NODE)
+        pts = [model.point(p, 1e12 / p, self._stats(0, 0)) for p in (1, 2, 4)]
+        eff = ScalingModel.efficiency_series(pts)
+        assert all(e == pytest.approx(1.0) for e in eff)
+
+    def test_empty_series(self):
+        assert ScalingModel.efficiency_series([]) == []

@@ -1,0 +1,130 @@
+"""Factorization-preconditioned solves of the exact kernel system."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import factorize, gmres, solve_exact
+from repro.solvers.preconditioned import exact_matvec
+
+RNG = np.random.default_rng(21)
+
+
+@pytest.fixture(scope="module")
+def loose_problem():
+    """A deliberately loose skeletonization: K~ is a ~1% preconditioner,
+    not a solver."""
+    X = RNG.standard_normal((500, 5))
+    kernel = GaussianKernel(bandwidth=2.0)
+    h = build_hmatrix(
+        X,
+        kernel,
+        tree_config=TreeConfig(leaf_size=50, seed=1),
+        skeleton_config=SkeletonConfig(
+            tau=1e-2, max_rank=24, num_samples=96, num_neighbors=8, seed=2
+        ),
+    )
+    lam = 0.5
+    fact = factorize(h, lam)
+    K = kernel(h.tree.points, h.tree.points)
+    return fact, K, lam
+
+
+class TestExactMatvec:
+    def test_matches_dense(self, loose_problem):
+        fact, K, lam = loose_problem
+        v = RNG.standard_normal(500)
+        out = exact_matvec(fact, lam, v)
+        assert np.allclose(out, K @ v + lam * v, atol=1e-10)
+
+
+class TestPreconditionedSolve:
+    def test_reaches_machine_precision_on_exact_system(self, loose_problem):
+        fact, K, lam = loose_problem
+        u = RNG.standard_normal(500)
+        res = solve_exact(fact, u, GMRESConfig(tol=1e-12, max_iters=60))
+        true = np.linalg.norm(u - (K @ res.x + lam * res.x)) / np.linalg.norm(u)
+        assert true < 1e-10
+        assert res.residual == pytest.approx(true, abs=1e-12)
+
+    def test_beats_plain_solve_of_approximation(self, loose_problem):
+        """The approximate direct solve carries the skeleton error; the
+        preconditioned iteration removes it."""
+        fact, K, lam = loose_problem
+        u = RNG.standard_normal(500)
+        w_approx = fact.solve(u)
+        res_approx = np.linalg.norm(u - (K @ w_approx + lam * w_approx)) / np.linalg.norm(u)
+        res = solve_exact(fact, u, GMRESConfig(tol=1e-12, max_iters=60))
+        assert res_approx > 1e-4  # the approximation alone is loose
+        assert res.residual < res_approx * 1e-5
+
+    def test_converges_fast_vs_unpreconditioned(self, loose_problem):
+        fact, K, lam = loose_problem
+        u = RNG.standard_normal(500)
+        res = solve_exact(fact, u, GMRESConfig(tol=1e-10, max_iters=60))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            plain = gmres(
+                lambda v: K @ v + lam * v,
+                u,
+                GMRESConfig(tol=1e-10, max_iters=res.n_iters),
+            )
+        assert res.residual < plain.final_residual / 10
+
+    def test_iterations_shrink_with_better_preconditioner(self):
+        X = RNG.standard_normal((400, 4))
+        kernel = GaussianKernel(bandwidth=2.0)
+        u = RNG.standard_normal(400)
+        iters = []
+        for tau, smax in ((1e-1, 8), (1e-6, 64)):
+            h = build_hmatrix(
+                X,
+                kernel,
+                tree_config=TreeConfig(leaf_size=40, seed=1),
+                skeleton_config=SkeletonConfig(
+                    tau=tau, max_rank=smax, num_samples=128, num_neighbors=8, seed=2
+                ),
+            )
+            fact = factorize(h, 0.5)
+            res = solve_exact(fact, u, GMRESConfig(tol=1e-10, max_iters=100))
+            iters.append(res.n_iters)
+        assert iters[1] < iters[0]
+
+    def test_hybrid_preconditioner_works(self, loose_problem):
+        _fact, K, lam = loose_problem
+        X = RNG.standard_normal((500, 5))
+        kernel = GaussianKernel(bandwidth=2.0)
+        h = build_hmatrix(
+            X,
+            kernel,
+            tree_config=TreeConfig(leaf_size=50, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-4, max_rank=32, num_samples=128, num_neighbors=8, seed=2,
+                level_restriction=2,
+            ),
+        )
+        fact = factorize(
+            h, 0.5,
+            SolverConfig(method="hybrid", gmres=GMRESConfig(tol=1e-8, max_iters=200)),
+        )
+        u = RNG.standard_normal(500)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            res = solve_exact(fact, u, GMRESConfig(tol=1e-9, max_iters=40))
+        assert res.residual < 1e-8
+
+    def test_rejects_multi_rhs(self, loose_problem):
+        fact, _, _ = loose_problem
+        with pytest.raises(Exception):
+            solve_exact(fact, np.zeros((500, 2)))
+
+    def test_history_recorded(self, loose_problem):
+        fact, _, _ = loose_problem
+        u = RNG.standard_normal(500)
+        res = solve_exact(fact, u, GMRESConfig(tol=1e-10, max_iters=60))
+        assert len(res.residuals) == res.n_iters + 1
+        assert res.residuals[0] == pytest.approx(1.0)

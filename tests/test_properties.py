@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Covers: SMW identity, interpolative-decomposition contracts, ball-tree
+partition invariants, GSKS-vs-dense agreement, and solver residuals —
+each over randomized shapes/seeds rather than fixed fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel, LaplacianKernel
+from repro.kernels.gsks import GSKSWorkspace, gsks_matvec
+from repro.skeleton.id import interpolative_decomposition
+from repro.solvers import factorize
+from repro.tree import BallTree
+
+COMMON = settings(max_examples=25, deadline=None)
+
+
+def _points(seed, n, d):
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+class TestSMWIdentity:
+    """(D + UV)^{-1} = (I - W (I + V W)^{-1} V) D^{-1},  W = D^{-1} U."""
+
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(5, 40),
+        s=st.integers(1, 5),
+        lam=st.floats(0.1, 10.0),
+    )
+    def test_smw_formula(self, seed, n, s, lam):
+        rng = np.random.default_rng(seed)
+        D = lam * np.eye(n) + 0.1 * rng.standard_normal((n, n))
+        U = rng.standard_normal((n, s))
+        V = rng.standard_normal((s, n))
+        A = D + U @ V
+        if abs(np.linalg.det(A)) < 1e-8 or abs(np.linalg.det(D)) < 1e-8:
+            return  # skip near-singular draws
+        W = np.linalg.solve(D, U)
+        Z = np.eye(s) + V @ W
+        if abs(np.linalg.det(Z)) < 1e-10:
+            return
+        lhs = np.linalg.inv(A)
+        rhs = (np.eye(n) - W @ np.linalg.solve(Z, V)) @ np.linalg.inv(D)
+        assert np.allclose(lhs, rhs, atol=1e-6 * max(1, np.abs(lhs).max()))
+
+
+class TestIDProperties:
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        m=st.integers(2, 50),
+        n=st.integers(1, 30),
+        rank=st.integers(1, 10),
+    )
+    def test_id_contract(self, seed, m, n, rank):
+        rng = np.random.default_rng(seed)
+        G = rng.standard_normal((m, n))
+        res = interpolative_decomposition(G, fixed_rank=min(rank, n))
+        s = res.rank
+        # skeleton: valid, unique column indices.
+        assert 1 <= s <= min(rank, n)
+        assert len(set(res.skeleton.tolist())) == s
+        assert res.proj.shape == (s, n)
+        # identity block on skeleton columns.
+        assert np.allclose(res.proj[:, res.skeleton], np.eye(s), atol=1e-10)
+        # exact when the requested rank covers the numerical rank.
+        if s >= min(m, n):
+            err = np.abs(G - G[:, res.skeleton] @ res.proj).max()
+            assert err < 1e-8 * max(1.0, np.abs(G).max())
+
+    @COMMON
+    @given(seed=st.integers(0, 10_000), m=st.integers(5, 40), r=st.integers(1, 4))
+    def test_id_exact_on_synthetic_low_rank(self, seed, m, r):
+        rng = np.random.default_rng(seed)
+        G = rng.standard_normal((m, r)) @ rng.standard_normal((r, 2 * r + 3))
+        res = interpolative_decomposition(G, tau=1e-10, max_rank=2 * r + 3)
+        err = np.abs(G - G[:, res.skeleton] @ res.proj).max()
+        assert err < 1e-6 * max(1.0, np.abs(G).max())
+
+
+class TestTreeProperties:
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 300),
+        d=st.integers(1, 8),
+        m=st.integers(1, 64),
+    )
+    def test_tree_invariants(self, seed, n, d, m):
+        X = _points(seed, n, d)
+        tree = BallTree(X, TreeConfig(leaf_size=m, seed=seed))
+        # permutation is a bijection.
+        assert sorted(tree.perm.tolist()) == list(range(n))
+        # leaves tile [0, n) in order and respect the size bound.
+        pos = 0
+        for leaf in tree.leaves():
+            assert leaf.lo == pos
+            assert 1 <= leaf.size <= max(m, 2)  # m=1 clamps at 2 (no empty leaves)
+            pos = leaf.hi
+        assert pos == n
+        # every node's slice equals its children's union.
+        for level in range(tree.depth):
+            for node in tree.level_nodes(level):
+                l, r = tree.children(node)
+                assert (l.lo, r.hi) == (node.lo, node.hi) and l.hi == r.lo
+                assert abs(l.size - r.size) <= 1
+
+
+class TestGSKSProperties:
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        m=st.integers(1, 60),
+        n=st.integers(1, 80),
+        d=st.integers(1, 6),
+        tile=st.integers(1, 64),
+    )
+    def test_fused_equals_dense(self, seed, m, n, d, tile):
+        rng = np.random.default_rng(seed)
+        XA, XB = rng.standard_normal((m, d)), rng.standard_normal((n, d))
+        u = rng.standard_normal(n)
+        k = GaussianKernel(bandwidth=1.0 + rng.random())
+        w = gsks_matvec(k, XA, XB, u, workspace=GSKSWorkspace(tile, tile))
+        assert np.allclose(w, k(XA, XB) @ u, atol=1e-9)
+
+
+class TestSolverProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(60, 250),
+        lam=st.floats(0.2, 20.0),
+        bandwidth=st.floats(0.5, 4.0),
+    )
+    def test_residual_always_small(self, seed, n, lam, bandwidth):
+        """For any geometry/bandwidth/lambda draw, the direct solver
+        inverts its own H-matrix to near machine precision."""
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((n, 3))
+        h = build_hmatrix(
+            X,
+            GaussianKernel(bandwidth=bandwidth),
+            tree_config=TreeConfig(leaf_size=25, seed=seed),
+            skeleton_config=SkeletonConfig(
+                tau=1e-6, max_rank=40, num_samples=120, num_neighbors=0, seed=seed
+            ),
+        )
+        u = rng.standard_normal(n)
+        fact = factorize(h, lam)
+        w = fact.solve(u)
+        assert fact.residual(u, w) < 1e-9
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000), lam=st.floats(0.5, 5.0))
+    def test_solve_is_linear(self, seed, lam):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((150, 3))
+        h = build_hmatrix(
+            X,
+            LaplacianKernel(bandwidth=2.0),
+            tree_config=TreeConfig(leaf_size=25, seed=seed),
+            skeleton_config=SkeletonConfig(
+                tau=1e-8, max_rank=40, num_samples=120, num_neighbors=0, seed=seed
+            ),
+        )
+        fact = factorize(h, lam)
+        u, v = rng.standard_normal(150), rng.standard_normal(150)
+        lhs = fact.solve(3.0 * u - 2.0 * v)
+        rhs = 3.0 * fact.solve(u) - 2.0 * fact.solve(v)
+        assert np.allclose(lhs, rhs, atol=1e-8 * max(1, np.abs(rhs).max()))

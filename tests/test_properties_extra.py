@@ -1,0 +1,118 @@
+"""Additional property-based suites: Krylov solvers, slogdet, Nystrom."""
+
+import warnings
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GMRESConfig, SkeletonConfig, TreeConfig
+from repro.exceptions import ConvergenceWarning
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import conjugate_gradient, factorize, gmres
+from repro.solvers.cg import CGResult
+
+COMMON = settings(max_examples=15, deadline=None)
+
+
+def _spd(rng, n, cond):
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.geomspace(1.0, 1.0 / cond, n)
+    return (Q * s) @ Q.T
+
+
+class TestKrylovProperties:
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(5, 60),
+        cond=st.floats(1.0, 1e4),
+    )
+    def test_gmres_reported_residual_is_true(self, seed, n, cond):
+        rng = np.random.default_rng(seed)
+        A = _spd(rng, n, cond) + 0.1 * rng.standard_normal((n, n)) / n
+        b = rng.standard_normal(n)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-11, max_iters=2 * n))
+        true = np.linalg.norm(b - A @ res.x) / np.linalg.norm(b)
+        assert abs(true - res.final_residual) < 1e-6 + 0.5 * true
+
+    @COMMON
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 50), cond=st.floats(1.0, 1e3))
+    def test_cg_and_gmres_agree_on_spd(self, seed, n, cond):
+        rng = np.random.default_rng(seed)
+        A = _spd(rng, n, cond)
+        b = rng.standard_normal(n)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            x_cg: CGResult = conjugate_gradient(
+                lambda v: A @ v, b, GMRESConfig(tol=1e-12, max_iters=5 * n)
+            )
+            x_gm = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-12, max_iters=5 * n))
+        if x_cg.converged and x_gm.converged:
+            assert np.allclose(x_cg.x, x_gm.x, atol=1e-6 * max(1, np.abs(x_gm.x).max()))
+
+    @COMMON
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 40))
+    def test_gmres_exact_in_n_iterations(self, seed, n):
+        """Full GMRES terminates in at most n steps (exact arithmetic)."""
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((n, n)) + 3 * np.eye(n)
+        b = rng.standard_normal(n)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            res = gmres(lambda v: A @ v, b, GMRESConfig(tol=1e-9, max_iters=n + 2))
+        assert res.converged
+        assert res.n_iters <= n + 1
+
+
+class TestSlogdetProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(80, 220),
+        lam=st.floats(0.3, 30.0),
+    )
+    def test_slogdet_matches_dense_randomized(self, seed, n, lam):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((n, 3))
+        h = build_hmatrix(
+            X,
+            GaussianKernel(bandwidth=2.0),
+            tree_config=TreeConfig(leaf_size=30, seed=seed),
+            skeleton_config=SkeletonConfig(
+                tau=1e-7, max_rank=40, num_samples=120, num_neighbors=0, seed=seed
+            ),
+        )
+        fact = factorize(h, lam)
+        sign, logdet = fact.slogdet()
+        s_ref, ld_ref = np.linalg.slogdet(h.to_dense() + lam * np.eye(n))
+        assert sign == s_ref
+        assert abs(logdet - ld_ref) < 1e-6 * max(1.0, abs(ld_ref))
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000), lam=st.floats(0.5, 10.0))
+    def test_solve_consistent_with_slogdet_shift(self, seed, lam):
+        """d/dlam logdet(lam I + K~) = tr((lam I + K~)^{-1}): check by a
+        finite difference against Hutchinson's estimate of the trace."""
+        from repro.solvers import hutchinson_trace
+
+        rng = np.random.default_rng(seed)
+        n = 150
+        X = rng.standard_normal((n, 3))
+        h = build_hmatrix(
+            X,
+            GaussianKernel(bandwidth=2.0),
+            tree_config=TreeConfig(leaf_size=30, seed=seed),
+            skeleton_config=SkeletonConfig(
+                tau=1e-8, max_rank=40, num_samples=120, num_neighbors=0, seed=seed
+            ),
+        )
+        eps = 1e-4 * lam
+        ld_plus = factorize(h, lam + eps).slogdet()[1]
+        ld_minus = factorize(h, lam - eps).slogdet()[1]
+        deriv = (ld_plus - ld_minus) / (2 * eps)
+        fact = factorize(h, lam)
+        trace = hutchinson_trace(fact.solve, n, n_probes=400, seed=seed)
+        assert abs(deriv - trace) < 0.15 * max(abs(trace), 1.0)

@@ -1,0 +1,96 @@
+"""Structure reports and bandwidth heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.learning import bandwidth_grid, median_heuristic
+from repro.report import rank_structure, summarize
+
+RNG = np.random.default_rng(26)
+
+
+class TestMedianHeuristic:
+    def test_matches_exact_median_on_small_set(self):
+        X = RNG.standard_normal((60, 4))
+        h = median_heuristic(X, sample_size=1000)
+        from repro.kernels.distances import pairwise_sq_dists
+
+        D = np.sqrt(pairwise_sq_dists(X, X))
+        iu = np.triu_indices(60, k=1)
+        assert h == pytest.approx(float(np.median(D[iu])))
+
+    def test_subsampling_close_to_full(self):
+        X = RNG.standard_normal((3000, 3))
+        h_sub = median_heuristic(X, sample_size=500, seed=0)
+        h_sub2 = median_heuristic(X, sample_size=500, seed=1)
+        assert abs(h_sub - h_sub2) / h_sub < 0.1
+
+    def test_scales_with_data(self):
+        X = RNG.standard_normal((200, 3))
+        assert median_heuristic(5 * X) == pytest.approx(5 * median_heuristic(X))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            median_heuristic(np.ones((10, 2)))
+        with pytest.raises(ValueError):
+            median_heuristic(np.ones((1, 2)))
+
+
+class TestBandwidthGrid:
+    def test_grid_centered_and_sorted(self):
+        X = RNG.standard_normal((300, 4))
+        grid = bandwidth_grid(X, n_values=5, decades=1.0)
+        assert len(grid) == 5
+        assert grid == sorted(grid)
+        center = median_heuristic(X)
+        assert grid[2] == pytest.approx(center)
+        assert grid[0] == pytest.approx(center / 10)
+        assert grid[-1] == pytest.approx(center * 10)
+
+    def test_single_value(self):
+        X = RNG.standard_normal((100, 2))
+        assert bandwidth_grid(X, n_values=1) == [median_heuristic(X)]
+
+    def test_rejects_zero_values(self):
+        with pytest.raises(ValueError):
+            bandwidth_grid(RNG.standard_normal((50, 2)), n_values=0)
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def hmat(self):
+        X = RNG.standard_normal((300, 4))
+        return build_hmatrix(
+            X,
+            GaussianKernel(bandwidth=2.0),
+            tree_config=TreeConfig(leaf_size=40, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-5, max_rank=32, num_samples=96, num_neighbors=0, seed=2
+            ),
+        )
+
+    def test_rank_structure_lists_every_node(self, hmat):
+        text = rank_structure(hmat)
+        assert text.count("\n") == hmat.tree.n_nodes + 1  # nodes + 2 headers - 1
+        assert "*" in text  # frontier markers present
+        assert f"N={hmat.n_points}" in text
+
+    def test_rank_structure_depth_cap(self, hmat):
+        text = rank_structure(hmat, max_depth=1)
+        assert len(text.splitlines()) == 2 + 3  # headers + root + 2 children
+
+    def test_summarize_content(self, hmat):
+        text = summarize(hmat)
+        assert "skeleton ranks" in text
+        assert "frontier" in text
+        assert f"N={hmat.n_points}" in text
+
+    def test_summarize_single_block(self):
+        X = RNG.standard_normal((20, 2))
+        h = build_hmatrix(
+            X, GaussianKernel(bandwidth=1.0), tree_config=TreeConfig(leaf_size=32)
+        )
+        assert "single dense block" in summarize(h)

@@ -1,0 +1,89 @@
+"""Transpose products and the SciPy LinearOperator adapter."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as sla
+
+from repro.config import SkeletonConfig, TreeConfig
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+
+RNG = np.random.default_rng(38)
+
+
+class TestRmatvec:
+    def test_matches_dense_transpose(self, hmatrix_small):
+        D = hmatrix_small.to_dense()
+        u = RNG.standard_normal(hmatrix_small.n_points)
+        assert np.allclose(hmatrix_small.rmatvec(u), D.T @ u, atol=1e-11)
+
+    def test_matches_dense_transpose_restricted(self, hmatrix_restricted):
+        D = hmatrix_restricted.to_dense()
+        u = RNG.standard_normal(hmatrix_restricted.n_points)
+        assert np.allclose(hmatrix_restricted.rmatvec(u), D.T @ u, atol=1e-11)
+
+    def test_multirhs(self, hmatrix_small):
+        D = hmatrix_small.to_dense()
+        U = RNG.standard_normal((hmatrix_small.n_points, 3))
+        assert np.allclose(hmatrix_small.rmatvec(U), D.T @ U, atol=1e-11)
+
+    def test_adjoint_identity(self, hmatrix_small):
+        """<K~ u, v> == <u, K~^T v> for random u, v."""
+        n = hmatrix_small.n_points
+        u, v = RNG.standard_normal(n), RNG.standard_normal(n)
+        lhs = float(hmatrix_small.matvec(u) @ v)
+        rhs = float(u @ hmatrix_small.rmatvec(v))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_single_leaf(self):
+        X = RNG.standard_normal((20, 3))
+        kernel = GaussianKernel(bandwidth=1.0)
+        h = build_hmatrix(X, kernel, tree_config=TreeConfig(leaf_size=32))
+        u = RNG.standard_normal(20)
+        K = kernel(h.tree.points, h.tree.points)
+        assert np.allclose(h.rmatvec(u), K.T @ u, atol=1e-12)
+
+    def test_nonsymmetry_is_small(self, hmatrix_small):
+        """K~'s asymmetry is bounded by the skeleton tolerance scale."""
+        n = hmatrix_small.n_points
+        u = RNG.standard_normal(n)
+        fwd = hmatrix_small.matvec(u)
+        adj = hmatrix_small.rmatvec(u)
+        gap = np.linalg.norm(fwd - adj) / np.linalg.norm(fwd)
+        assert gap < 1e-2  # tau=1e-9 build: tiny but nonzero
+
+
+class TestLinearOperator:
+    def test_scipy_gmres_solves(self, hmatrix_small):
+        n = hmatrix_small.n_points
+        A = hmatrix_small.as_linear_operator(1.0)
+        u = RNG.standard_normal(n)
+        x, info = sla.gmres(A, u, rtol=1e-10, maxiter=300)
+        assert info == 0
+        res = np.linalg.norm(A @ x - u) / np.linalg.norm(u)
+        assert res < 1e-8
+
+    def test_scipy_eigs_matches_dense(self, hmatrix_small):
+        D = hmatrix_small.to_dense()
+        vals = sla.eigs(
+            hmatrix_small.as_linear_operator(),
+            k=3,
+            which="LM",
+            return_eigenvectors=False,
+        )
+        dense = np.sort(np.abs(np.linalg.eigvals(D)))[::-1][:3]
+        assert np.allclose(np.sort(np.abs(vals))[::-1], dense, rtol=1e-6)
+
+    def test_operator_shift(self, hmatrix_small):
+        n = hmatrix_small.n_points
+        u = RNG.standard_normal(n)
+        A0 = hmatrix_small.as_linear_operator(0.0)
+        A5 = hmatrix_small.as_linear_operator(5.0)
+        assert np.allclose(A5 @ u, A0 @ u + 5.0 * u, atol=1e-11)
+
+    def test_adjoint_operator(self, hmatrix_small):
+        n = hmatrix_small.n_points
+        A = hmatrix_small.as_linear_operator(0.3)
+        u = RNG.standard_normal(n)
+        D = hmatrix_small.to_dense() + 0.3 * np.eye(n)
+        assert np.allclose(A.H @ u, D.T @ u, atol=1e-10)

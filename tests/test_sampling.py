@@ -1,0 +1,127 @@
+"""Neighbor search and skeletonization row sampling."""
+
+import numpy as np
+import pytest
+
+from repro.config import TreeConfig
+from repro.kernels.distances import pairwise_sq_dists
+from repro.sampling import NeighborTable, RowSampler, approximate_knn
+from repro.tree import BallTree
+
+RNG = np.random.default_rng(3)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return RNG.standard_normal((300, 5))
+
+
+@pytest.fixture(scope="module")
+def exact_knn(cloud):
+    D2 = pairwise_sq_dists(cloud, cloud)
+    np.fill_diagonal(D2, np.inf)
+    return np.argsort(D2, axis=1)[:, :8], D2
+
+
+class TestApproximateKNN:
+    def test_shapes_and_no_self(self, cloud):
+        table = approximate_knn(cloud, 8, seed=0)
+        assert table.indices.shape == (300, 8)
+        assert table.k == 8
+        for i in range(300):
+            assert i not in table.indices[i]
+
+    def test_no_duplicate_neighbors(self, cloud):
+        table = approximate_knn(cloud, 8, seed=0)
+        for row in table.indices:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_distances_sorted(self, cloud):
+        table = approximate_knn(cloud, 8, seed=0)
+        assert (np.diff(table.sq_dists, axis=1) >= -1e-12).all()
+
+    def test_distances_match_points(self, cloud):
+        table = approximate_knn(cloud, 4, seed=0)
+        for i in (0, 100, 299):
+            for j, d2 in zip(table.indices[i], table.sq_dists[i]):
+                diff = cloud[i] - cloud[j]
+                assert np.isclose(d2, diff @ diff, atol=1e-10)
+
+    def test_recall_reasonable(self, cloud, exact_knn):
+        """Randomized trees should find most true near neighbors."""
+        exact, _ = exact_knn
+        table = approximate_knn(cloud, 8, n_rounds=4, seed=0)
+        hits = sum(
+            len(set(exact[i]) & set(table.indices[i])) for i in range(300)
+        )
+        assert hits / (300 * 8) > 0.6
+
+    def test_k_clipped_to_n_minus_1(self):
+        X = RNG.standard_normal((5, 2))
+        table = approximate_knn(X, 10, seed=0)
+        assert table.k == 4
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            approximate_knn(RNG.standard_normal((1, 2)), 1)
+
+
+class TestRowSampler:
+    def _tree(self, cloud):
+        return BallTree(cloud, TreeConfig(leaf_size=40, seed=1))
+
+    def test_samples_outside_node(self, cloud):
+        tree = self._tree(cloud)
+        sampler = RowSampler(tree.n_points, None, 64, seed=0)
+        for leaf in tree.leaves():
+            rows = sampler.sample(leaf)
+            assert len(rows) == 64
+            assert ((rows < leaf.lo) | (rows >= leaf.hi)).all()
+
+    def test_rows_sorted_unique(self, cloud):
+        tree = self._tree(cloud)
+        sampler = RowSampler(tree.n_points, None, 64, seed=0)
+        rows = sampler.sample(tree.leaves()[0])
+        assert (np.diff(rows) > 0).all()
+
+    def test_neighbor_bias(self, cloud):
+        """With a neighbor table, sampled rows include outside neighbors."""
+        tree = self._tree(cloud)
+        # neighbor table in tree coordinates.
+        table = approximate_knn(tree.points, 6, seed=0)
+        sampler = RowSampler(tree.n_points, table, 64, seed=0)
+        leaf = tree.leaves()[0]
+        rows = set(sampler.sample(leaf).tolist())
+        cand = table.indices[leaf.lo : leaf.hi].ravel()
+        outside = {
+            int(c) for c in cand if c >= 0 and not (leaf.lo <= c < leaf.hi)
+        }
+        assert len(rows & outside) > 0
+
+    def test_budget_clipped_by_outside_size(self, cloud):
+        tree = self._tree(cloud)
+        sampler = RowSampler(tree.n_points, None, 10_000, seed=0)
+        node = tree.node(2)  # half the points
+        rows = sampler.sample(node)
+        assert len(rows) == tree.n_points - node.size
+
+    def test_root_yields_empty(self, cloud):
+        tree = self._tree(cloud)
+        sampler = RowSampler(tree.n_points, None, 32, seed=0)
+        assert len(sampler.sample(tree.root)) == 0
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            RowSampler(100, None, 0)
+
+    def test_deterministic(self, cloud):
+        tree = self._tree(cloud)
+        r1 = RowSampler(tree.n_points, None, 32, seed=5).sample(tree.leaves()[1])
+        r2 = RowSampler(tree.n_points, None, 32, seed=5).sample(tree.leaves()[1])
+        assert np.array_equal(r1, r2)
+
+
+class TestNeighborTableDataclass:
+    def test_k_property(self):
+        t = NeighborTable(indices=np.zeros((4, 3), dtype=np.intp), sq_dists=np.zeros((4, 3)))
+        assert t.k == 3

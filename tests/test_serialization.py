@@ -1,0 +1,100 @@
+"""Pickle round-trips: a fitted solver survives save/load.
+
+Production use case: factorize once (expensive), persist, and serve
+solves from the loaded object.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import FastKernelSolver, GaussianKernel
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+
+RNG = np.random.default_rng(34)
+
+TREE = TreeConfig(leaf_size=40, seed=1)
+SKEL = SkeletonConfig(tau=1e-7, max_rank=48, num_samples=160, num_neighbors=8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fitted_solver():
+    X = RNG.standard_normal((400, 4))
+    solver = FastKernelSolver(
+        GaussianKernel(bandwidth=2.0), tree_config=TREE, skeleton_config=SKEL
+    )
+    solver.fit(X)
+    solver.factorize(0.5)
+    return X, solver
+
+
+class TestPickleRoundtrip:
+    def test_solver_roundtrip_solves_identically(self, fitted_solver):
+        _, solver = fitted_solver
+        blob = pickle.dumps(solver)
+        loaded = pickle.loads(blob)
+        u = RNG.standard_normal(solver.n_points)
+        assert np.array_equal(loaded.solve(u), solver.solve(u))
+
+    def test_loaded_solver_matvec(self, fitted_solver):
+        _, solver = fitted_solver
+        loaded = pickle.loads(pickle.dumps(solver))
+        u = RNG.standard_normal(solver.n_points)
+        assert np.allclose(loaded.matvec(u), solver.matvec(u), atol=1e-14)
+
+    def test_loaded_solver_refactorizes(self, fitted_solver):
+        _, solver = fitted_solver
+        loaded = pickle.loads(pickle.dumps(solver))
+        loaded.factorize(5.0)
+        u = RNG.standard_normal(solver.n_points)
+        w = loaded.solve(u)
+        assert loaded.residual(u, w) < 1e-10
+
+    def test_loaded_solver_predicts(self, fitted_solver):
+        X, solver = fitted_solver
+        loaded = pickle.loads(pickle.dumps(solver))
+        w = RNG.standard_normal(solver.n_points)
+        X_new = RNG.standard_normal((10, X.shape[1]))
+        assert np.allclose(
+            loaded.predict_matvec(X_new, w), solver.predict_matvec(X_new, w)
+        )
+
+    def test_hmatrix_roundtrip(self, fitted_solver):
+        _, solver = fitted_solver
+        h = solver.hmatrix
+        loaded = pickle.loads(pickle.dumps(h))
+        u = RNG.standard_normal(h.n_points)
+        assert np.allclose(loaded.matvec(u), h.matvec(u), atol=1e-14)
+
+    def test_fused_summation_roundtrip(self):
+        """Workspace buffers (thread-local) must not break pickling."""
+        X = RNG.standard_normal((300, 3))
+        solver = FastKernelSolver(
+            GaussianKernel(bandwidth=1.5),
+            tree_config=TREE,
+            skeleton_config=SKEL,
+            solver_config=SolverConfig(summation="fused"),
+        )
+        solver.fit(X)
+        solver.factorize(1.0)
+        u = RNG.standard_normal(300)
+        w_ref = solver.solve(u)
+        loaded = pickle.loads(pickle.dumps(solver))
+        assert np.allclose(loaded.solve(u), w_ref, atol=1e-12)
+
+    def test_gp_roundtrip(self):
+        from repro.learning import GaussianProcessRegressor
+
+        X = RNG.uniform(-1, 1, size=(300, 2))
+        y = np.sin(2 * X[:, 0])
+        gp = GaussianProcessRegressor(
+            GaussianKernel(bandwidth=0.5), noise=0.1,
+            tree_config=TREE, skeleton_config=SKEL,
+        ).fit(X, y)
+        loaded = pickle.loads(pickle.dumps(gp))
+        Xq = RNG.uniform(-1, 1, size=(20, 2))
+        assert np.allclose(loaded.predict(Xq).mean, gp.predict(Xq).mean)
+        assert loaded.log_marginal_likelihood() == pytest.approx(
+            gp.log_marginal_likelihood()
+        )

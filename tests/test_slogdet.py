@@ -1,0 +1,103 @@
+"""Log-determinant via the telescoping factorization."""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import NotFactorizedError
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import factorize
+
+RNG = np.random.default_rng(20)
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("lam", [0.1, 1.0, 25.0])
+    def test_matches_dense_slogdet(self, hmatrix_small, lam):
+        fact = factorize(hmatrix_small, lam)
+        sign, logdet = fact.slogdet()
+        n = hmatrix_small.n_points
+        s_ref, ld_ref = np.linalg.slogdet(hmatrix_small.to_dense() + lam * np.eye(n))
+        assert sign == s_ref
+        assert logdet == pytest.approx(ld_ref, abs=1e-7)
+
+    def test_level_restricted(self, hmatrix_restricted):
+        fact = factorize(hmatrix_restricted, 0.5, SolverConfig(method="direct"))
+        sign, logdet = fact.slogdet()
+        n = hmatrix_restricted.n_points
+        s_ref, ld_ref = np.linalg.slogdet(
+            hmatrix_restricted.to_dense() + 0.5 * np.eye(n)
+        )
+        assert sign == s_ref == 1.0
+        assert logdet == pytest.approx(ld_ref, abs=1e-7)
+
+    def test_methods_agree(self, hmatrix_small):
+        ld1 = factorize(hmatrix_small, 0.7, SolverConfig(method="nlogn")).slogdet()
+        ld2 = factorize(hmatrix_small, 0.7, SolverConfig(method="nlog2n")).slogdet()
+        assert ld1[0] == ld2[0]
+        assert ld1[1] == pytest.approx(ld2[1], abs=1e-8)
+
+    def test_near_singular_logdet(self):
+        """lam = 0 on a smooth kernel: det underflows to ~1e-470; the
+        sign must still agree and log|det| to O(rounding of a nearly
+        singular LU) — both computations carry that error."""
+        X = RNG.standard_normal((100, 2))
+        h = build_hmatrix(
+            X,
+            GaussianKernel(bandwidth=1.0),
+            tree_config=TreeConfig(leaf_size=128),  # single dense leaf
+        )
+        fact = factorize(h, 0.0)
+        sign, logdet = fact.slogdet()
+        s_ref, ld_ref = np.linalg.slogdet(h.to_dense())
+        assert sign == s_ref
+        assert logdet == pytest.approx(ld_ref, abs=1.0)
+
+    def test_single_leaf(self, gaussian_kernel):
+        X = RNG.standard_normal((25, 3))
+        h = build_hmatrix(X, gaussian_kernel, tree_config=TreeConfig(leaf_size=32))
+        fact = factorize(h, 2.0)
+        sign, logdet = fact.slogdet()
+        s_ref, ld_ref = np.linalg.slogdet(h.to_dense() + 2.0 * np.eye(25))
+        assert (sign, logdet) == (pytest.approx(s_ref), pytest.approx(ld_ref))
+
+
+class TestLifecycle:
+    def test_hybrid_has_no_determinant(self, hmatrix_small):
+        fact = factorize(hmatrix_small, 1.0, SolverConfig(method="hybrid"))
+        with pytest.raises(NotFactorizedError):
+            fact.slogdet()
+
+    def test_unfactored_raises(self, hmatrix_small):
+        from repro.solvers.factorization import HierarchicalFactorization
+
+        fact = HierarchicalFactorization(hmatrix_small, 0.0, SolverConfig())
+        with pytest.raises(NotFactorizedError):
+            fact.slogdet()
+
+    def test_facade_slogdet(self, points_small, gaussian_kernel):
+        from repro import FastKernelSolver
+
+        solver = FastKernelSolver(
+            gaussian_kernel,
+            tree_config=TreeConfig(leaf_size=25, seed=3),
+            skeleton_config=SkeletonConfig(
+                tau=1e-9, max_rank=64, num_samples=220, num_neighbors=8, seed=5
+            ),
+        )
+        solver.fit(points_small)
+        solver.factorize(1.5)
+        sign, logdet = solver.slogdet()
+        n = len(points_small)
+        D = solver.hmatrix.to_dense() + 1.5 * np.eye(n)
+        s_ref, ld_ref = np.linalg.slogdet(D)
+        assert sign == s_ref
+        assert logdet == pytest.approx(ld_ref, abs=1e-7)
+
+    def test_logdet_monotone_in_lambda(self, hmatrix_small):
+        """det(lam I + K~) grows with lam for PSD-ish K~."""
+        values = [
+            factorize(hmatrix_small, lam).slogdet()[1] for lam in (0.5, 2.0, 8.0)
+        ]
+        assert values[0] < values[1] < values[2]

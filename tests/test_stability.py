@@ -1,0 +1,104 @@
+"""Stability monitoring (paper section III): rcond estimates, detection."""
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import StabilityWarning
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.solvers import factorize
+from repro.solvers.stability import StabilityReport, estimate_rcond
+
+RNG = np.random.default_rng(9)
+
+
+class TestRcondEstimate:
+    def test_tracks_true_condition(self):
+        n = 30
+        Q, _ = np.linalg.qr(RNG.standard_normal((n, n)))
+        for cond in (1e2, 1e6, 1e10):
+            s = np.geomspace(1.0, 1.0 / cond, n)
+            A = (Q * s) @ Q.T
+            lu = scipy.linalg.lu_factor(A)
+            r = estimate_rcond(lu[0], np.linalg.norm(A, 1))
+            # gecon 1-norm estimate: right order of magnitude.
+            assert 1.0 / (100 * cond) < r < 100.0 / cond
+
+    def test_identity_rcond_one(self):
+        A = np.eye(10)
+        lu = scipy.linalg.lu_factor(A)
+        assert estimate_rcond(lu[0], 1.0) == pytest.approx(1.0)
+
+    def test_empty_matrix(self):
+        assert estimate_rcond(np.zeros((0, 0)), 0.0) == 1.0
+
+
+class TestReport:
+    def test_records_min(self):
+        rep = StabilityReport(threshold=1e6)
+        rep.record("leaf", 4, 0.5)
+        rep.record("leaf", 5, 1e-3)
+        assert rep.min_rcond == 1e-3
+        assert rep.is_stable
+
+    def test_flags_past_threshold(self):
+        rep = StabilityReport(threshold=1e6)
+        rep.record("reduced", 7, 1e-9)
+        assert not rep.is_stable
+        assert rep.flagged == [("reduced", 7, 1e-9)]
+        with pytest.warns(StabilityWarning):
+            rep.warn_if_unstable()
+
+    def test_disabled_report_records_nothing(self):
+        rep = StabilityReport(threshold=1e6, enabled=False)
+        rep.record("leaf", 1, 1e-12)
+        assert rep.is_stable
+
+    def test_no_warning_when_stable(self):
+        rep = StabilityReport()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rep.warn_if_unstable()  # must not raise
+
+
+class TestDetectionEndToEnd:
+    """The paper's #30 regime: narrow h + tiny lambda => unstable D."""
+
+    def _build(self, bandwidth):
+        X = np.concatenate(
+            [RNG.standard_normal((100, 3)) * 0.01,  # near-duplicate cluster
+             RNG.standard_normal((156, 3))]
+        )
+        return build_hmatrix(
+            X,
+            GaussianKernel(bandwidth=bandwidth),
+            tree_config=TreeConfig(leaf_size=32, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-7, max_rank=64, num_samples=128, num_neighbors=8, seed=2
+            ),
+        )
+
+    def test_warns_on_illconditioned_leaf(self):
+        h = self._build(bandwidth=50.0)  # huge h: leaf blocks ~ rank one
+        with pytest.warns(StabilityWarning):
+            fact = factorize(h, 1e-14, SolverConfig(cond_threshold=1e10))
+        assert not fact.stability.is_stable
+        assert fact.stability.min_rcond < 1e-10
+
+    def test_no_warning_with_good_lambda(self):
+        h = self._build(bandwidth=50.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StabilityWarning)
+            fact = factorize(h, 1.0, SolverConfig(cond_threshold=1e10))
+        assert fact.stability.is_stable
+
+    def test_check_disabled_skips_gecon(self):
+        h = self._build(bandwidth=50.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StabilityWarning)
+            fact = factorize(h, 1e-14, SolverConfig(check_stability=False))
+        assert fact.stability.min_rcond == 1.0  # never measured

@@ -1,0 +1,153 @@
+"""Ball tree: topology, permutation, splits, traversals."""
+
+import numpy as np
+import pytest
+
+from repro.config import TreeConfig
+from repro.exceptions import ConfigurationError
+from repro.tree import BallTree
+from repro.tree.partition import median_split, split_direction
+
+RNG = np.random.default_rng(2)
+
+
+class TestTopology:
+    def test_perfect_binary(self, tree_small):
+        d = tree_small.depth
+        assert tree_small.n_nodes == 2 ** (d + 1) - 1
+        for level in range(d + 1):
+            nodes = tree_small.level_nodes(level)
+            assert len(nodes) == 2**level
+            assert sum(n.size for n in nodes) == tree_small.n_points
+
+    def test_leaf_sizes_bounded(self, tree_small):
+        m = tree_small.config.leaf_size
+        for leaf in tree_small.leaves():
+            assert 1 <= leaf.size <= m
+
+    def test_sibling_sizes_differ_by_at_most_one(self, tree_small):
+        for node in tree_small.postorder():
+            if node.is_root:
+                continue
+            sib = tree_small.node(node.sibling_id)
+            assert abs(node.size - sib.size) <= 1
+
+    def test_children_partition_parent(self, tree_small):
+        for level in range(tree_small.depth):
+            for node in tree_small.level_nodes(level):
+                left, right = tree_small.children(node)
+                assert left.lo == node.lo
+                assert left.hi == right.lo
+                assert right.hi == node.hi
+
+    def test_depth_formula(self, points_small):
+        tree = BallTree(points_small, TreeConfig(leaf_size=25, seed=0))
+        n, m = len(points_small), 25
+        assert tree.depth == int(np.ceil(np.log2(n / m)))
+
+    def test_single_leaf_tree(self):
+        X = RNG.standard_normal((10, 3))
+        tree = BallTree(X, TreeConfig(leaf_size=16))
+        assert tree.depth == 0
+        assert tree.n_nodes == 1
+        assert tree.root.size == 10
+        assert tree.is_leaf(tree.root)
+
+    def test_n_equals_leaf_size(self):
+        X = RNG.standard_normal((16, 2))
+        tree = BallTree(X, TreeConfig(leaf_size=16))
+        assert tree.depth == 0
+
+
+class TestPermutation:
+    def test_perm_is_bijection(self, tree_small):
+        assert sorted(tree_small.perm.tolist()) == list(range(tree_small.n_points))
+
+    def test_iperm_inverts(self, tree_small):
+        n = tree_small.n_points
+        assert np.array_equal(tree_small.perm[tree_small.iperm], np.arange(n))
+
+    def test_points_are_permuted_copy(self, points_small, tree_small):
+        assert np.array_equal(tree_small.points, points_small[tree_small.perm])
+
+    def test_input_not_modified(self, points_small):
+        before = points_small.copy()
+        BallTree(points_small, TreeConfig(leaf_size=30, seed=1))
+        assert np.array_equal(points_small, before)
+
+    def test_node_points_view(self, tree_small):
+        leaf = tree_small.leaves()[0]
+        assert np.shares_memory(tree_small.node_points(leaf), tree_small.points)
+
+
+class TestTraversal:
+    def test_postorder_children_before_parents(self, tree_small):
+        seen = set()
+        for node in tree_small.postorder():
+            if not tree_small.is_leaf(node):
+                assert node.left_id in seen and node.right_id in seen
+            seen.add(node.id)
+        assert 1 in seen
+
+    def test_ancestors(self, tree_small):
+        leaf = tree_small.leaves()[-1]
+        anc = list(tree_small.ancestors(leaf))
+        assert [a.level for a in anc] == list(range(tree_small.depth - 1, -1, -1))
+        assert anc[-1].is_root
+        for a in anc:
+            assert a.lo <= leaf.lo and leaf.hi <= a.hi
+
+    def test_subtree_at(self, tree_small):
+        root = tree_small.root
+        leaves = tree_small.subtree_at(root, tree_small.depth)
+        assert [n.id for n in leaves] == [n.id for n in tree_small.leaves()]
+        with pytest.raises(ValueError):
+            tree_small.subtree_at(tree_small.leaves()[0], 0)
+
+    def test_node_properties(self, tree_small):
+        node = tree_small.node(2)
+        assert node.parent_id == 1
+        assert node.sibling_id == 3
+        assert node.left_id == 4 and node.right_id == 5
+        assert tree_small.root.sibling_id == 0
+        assert list(node.indices()) == list(range(node.lo, node.hi))
+
+
+class TestSplits:
+    def test_split_direction_unit_norm(self):
+        X = RNG.standard_normal((50, 7))
+        d = split_direction(X, RNG)
+        assert np.isclose(np.linalg.norm(d), 1.0)
+
+    def test_degenerate_points_still_split(self):
+        X = np.ones((20, 3))
+        left, right = median_split(X, np.arange(20), np.random.default_rng(0))
+        assert len(left) == 10 and len(right) == 10
+        assert sorted(np.concatenate([left, right]).tolist()) == list(range(20))
+
+    def test_odd_split(self):
+        X = RNG.standard_normal((21, 2))
+        left, right = median_split(X, np.arange(21), RNG)
+        assert {len(left), len(right)} == {10, 11}
+
+    def test_split_separates_on_projection(self):
+        # two well-separated blobs must be split apart.
+        X = np.concatenate([RNG.standard_normal((25, 2)), 100 + RNG.standard_normal((25, 2))])
+        left, right = median_split(X, np.arange(50), np.random.default_rng(0))
+        groups = {tuple(sorted(left)), tuple(sorted(right))}
+        assert groups == {tuple(range(25)), tuple(range(25, 50))}
+
+    def test_cannot_split_single_point(self):
+        with pytest.raises(ValueError):
+            median_split(np.zeros((1, 2)), np.arange(1), RNG)
+
+    def test_deterministic_given_seed(self, points_small):
+        t1 = BallTree(points_small, TreeConfig(leaf_size=30, seed=9))
+        t2 = BallTree(points_small, TreeConfig(leaf_size=30, seed=9))
+        assert np.array_equal(t1.perm, t2.perm)
+
+
+class TestErrors:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            BallTree(np.zeros(5))

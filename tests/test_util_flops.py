@@ -1,0 +1,98 @@
+"""FLOP counter semantics: nesting, labels, thread attachment."""
+
+import threading
+
+from repro.util.flops import (
+    FlopCounter,
+    count_flops,
+    count_kernel_evals,
+    count_mops,
+    current_counter,
+)
+
+
+def test_counts_accumulate():
+    with FlopCounter() as fc:
+        count_flops(10)
+        count_flops(5, label="gemm")
+        count_mops(3)
+        count_kernel_evals(7)
+    assert fc.flops == 15
+    assert fc.mops == 3
+    assert fc.kernel_evals == 7
+    assert fc.by_label == {"gemm": 5}
+
+
+def test_no_counter_is_noop():
+    assert current_counter() is None
+    count_flops(100)  # must not raise
+
+
+def test_nested_counters_both_charged():
+    with FlopCounter() as outer:
+        count_flops(1)
+        with FlopCounter() as inner:
+            count_flops(10)
+        count_flops(100)
+    assert inner.flops == 10
+    assert outer.flops == 111
+
+
+def test_current_counter_is_innermost():
+    with FlopCounter() as outer:
+        assert current_counter() is outer
+        with FlopCounter() as inner:
+            assert current_counter() is inner
+        assert current_counter() is outer
+
+
+def test_reset():
+    fc = FlopCounter()
+    with fc:
+        count_flops(5, label="x")
+        count_mops(2)
+    fc.reset()
+    assert fc.flops == 0 and fc.mops == 0 and fc.by_label == {}
+
+
+def test_attach_charges_worker_thread():
+    fc = FlopCounter()
+
+    def work():
+        fc.attach()
+        try:
+            count_flops(42)
+        finally:
+            fc.detach()
+
+    t = threading.Thread(target=work)
+    t.start()
+    t.join()
+    assert fc.flops == 42
+
+
+def test_exit_removes_correct_counter():
+    a, b = FlopCounter(), FlopCounter()
+    a.__enter__()
+    b.__enter__()
+    a.__exit__(None, None, None)  # unbalanced: remove a below b
+    count_flops(1)
+    b.__exit__(None, None, None)
+    assert a.flops == 0
+    assert b.flops == 1
+
+
+def test_thread_safety_of_add():
+    fc = FlopCounter()
+
+    def work():
+        for _ in range(1000):
+            fc.add_flops(1, label="t")
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert fc.flops == 4000
+    assert fc.by_label["t"] == 4000

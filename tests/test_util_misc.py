@@ -1,0 +1,104 @@
+"""Timing, RNG, and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.random import as_generator
+from repro.util.timing import StageTimes, Timer
+from repro.util.validation import (
+    check_in,
+    check_nonnegative,
+    check_points,
+    check_positive,
+    check_vector,
+)
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_stage_times_accumulate(self):
+        st = StageTimes()
+        st.add("a", 1.0)
+        st.add("a", 0.5)
+        st.add("b", 2.0)
+        assert st["a"] == 1.5
+        assert st["b"] == 2.0
+        assert st["missing"] == 0.0
+        assert st.total == 3.5
+
+    def test_stage_context_manager(self):
+        st = StageTimes()
+        with st.time("x"):
+            pass
+        assert st["x"] >= 0.0
+        assert "x" in st.stages
+
+
+class TestRandom:
+    def test_int_seed_reproducible(self):
+        a = as_generator(3).standard_normal(5)
+        b = as_generator(3).standard_normal(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestValidation:
+    def test_check_points_converts(self):
+        X = check_points([[1, 2], [3, 4]])
+        assert X.dtype == np.float64 and X.shape == (2, 2)
+
+    def test_check_points_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            check_points(np.zeros(5))
+
+    def test_check_points_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_points(np.zeros((0, 3)))
+
+    def test_check_points_rejects_nan(self):
+        X = np.ones((3, 2))
+        X[1, 1] = np.nan
+        with pytest.raises(ConfigurationError):
+            check_points(X)
+
+    def test_check_vector_length(self):
+        with pytest.raises(ConfigurationError):
+            check_vector(np.zeros(4), n=5)
+
+    def test_check_vector_2d_ok(self):
+        v = check_vector(np.zeros((5, 2)), n=5)
+        assert v.shape == (5, 2)
+
+    def test_check_vector_rejects_3d(self):
+        with pytest.raises(ConfigurationError):
+            check_vector(np.zeros((2, 2, 2)))
+
+    def test_check_vector_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_vector(np.array([1.0, np.inf]))
+
+    def test_check_positive(self):
+        assert check_positive(2, "x") == 2
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            check_nonnegative(-1, "x")
+
+    def test_check_in(self):
+        assert check_in("a", {"a", "b"}, "x") == "a"
+        with pytest.raises(ConfigurationError):
+            check_in("c", {"a", "b"}, "x")

@@ -1,0 +1,233 @@
+"""Virtual MPI runtime: p2p semantics, collectives, splits, failure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicatorError, DeadlockError
+from repro.parallel.vmpi import run_spmd
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def prog(comm):
+            comm.send(comm.rank * 10, (comm.rank + 1) % comm.size, tag=1)
+            return comm.recv((comm.rank - 1) % comm.size, tag=1)
+
+        res, _ = run_spmd(prog, 4)
+        assert res == [30, 0, 10, 20]
+
+    def test_fifo_per_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, 1, tag=7)
+                return None
+            return [comm.recv(0, tag=7) for _ in range(5)]
+
+        res, _ = run_spmd(prog, 2)
+        assert res[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_do_not_cross(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                return None
+            # receive in the opposite order of sending.
+            b = comm.recv(0, tag=2)
+            a = comm.recv(0, tag=1)
+            return (a, b)
+
+        res, _ = run_spmd(prog, 2)
+        assert res[1] == ("a", "b")
+
+    def test_sendrecv_exchange(self):
+        def prog(comm):
+            peer = comm.size - 1 - comm.rank
+            return comm.sendrecv(comm.rank, dest=peer, source=peer, tag=3)
+
+        res, _ = run_spmd(prog, 4)
+        assert res == [3, 2, 1, 0]
+
+    def test_numpy_payloads(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10.0), 1)
+                return None
+            return comm.recv(0)
+
+        res, stats = run_spmd(prog, 2)
+        assert np.allclose(res[1], np.arange(10.0))
+        assert stats.bytes == 80
+
+    def test_out_of_range_dest(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, 5)
+            return None
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            run_spmd(prog, 2)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_bcast_all_roots(self, p):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                val = {"root": root} if comm.rank == root else None
+                out.append(comm.bcast(val, root=root)["root"])
+            return out
+
+        res, _ = run_spmd(prog, p)
+        for r in res:
+            assert r == list(range(p))
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_reduce_sum(self, p):
+        def prog(comm):
+            return comm.reduce(np.full(3, float(comm.rank + 1)), root=0)
+
+        res, _ = run_spmd(prog, p)
+        assert np.allclose(res[0], p * (p + 1) / 2)
+        for r in res[1:]:
+            assert r is None
+
+    def test_reduce_custom_op(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1, op=lambda a, b: a * b)
+
+        res, _ = run_spmd(prog, 4)
+        assert res == [24, 24, 24, 24]
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_allreduce_same_everywhere(self, p):
+        def prog(comm):
+            return comm.allreduce(np.ones(2) * comm.rank)
+
+        res, _ = run_spmd(prog, p)
+        expect = sum(range(p))
+        for r in res:
+            assert np.allclose(r, expect)
+
+    def test_gather_and_allgather(self):
+        def prog(comm):
+            g = comm.gather(chr(ord("a") + comm.rank), root=1)
+            ag = comm.allgather(comm.rank * 2)
+            return g, ag
+
+        res, _ = run_spmd(prog, 4)
+        assert res[1][0] == ["a", "b", "c", "d"]
+        assert res[0][0] is None
+        for _, ag in res:
+            assert ag == [0, 2, 4, 6]
+
+    def test_barrier_completes(self):
+        def prog(comm):
+            comm.barrier()
+            return True
+
+        res, _ = run_spmd(prog, 8)
+        assert all(res)
+
+    def test_collective_message_count_logarithmic(self):
+        """One bcast costs p-1 messages on a binomial tree."""
+
+        def prog(comm):
+            comm.bcast(b"x" * 100, root=0)
+
+        _, stats = run_spmd(prog, 8)
+        assert stats.messages == 7
+
+
+class TestSplit:
+    def test_split_halves(self):
+        def prog(comm):
+            half = comm.split(color=comm.rank // 4)
+            return (half.size, half.rank, half.allreduce(comm.rank))
+
+        res, _ = run_spmd(prog, 8)
+        for world_rank, (size, rank, total) in enumerate(res):
+            assert size == 4
+            assert rank == world_rank % 4
+            assert total == (0 + 1 + 2 + 3) if world_rank < 4 else (4 + 5 + 6 + 7)
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        res, _ = run_spmd(prog, 4)
+        assert res == [3, 2, 1, 0]
+
+    def test_nested_splits_isolated(self):
+        def prog(comm):
+            a = comm.split(color=comm.rank % 2)
+            b = a.split(color=a.rank % 2)
+            # message on b must not leak into a.
+            if b.size == 1:
+                return "solo"
+            b.send(comm.rank, (b.rank + 1) % b.size, tag=9)
+            return b.recv((b.rank - 1) % b.size, tag=9)
+
+        res, _ = run_spmd(prog, 8)
+        assert all(r is not None for r in res)
+
+    def test_world_rank_mapping(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank // 2)
+            return sub.world_rank()
+
+        res, _ = run_spmd(prog, 4)
+        assert res == [0, 1, 2, 3]
+
+
+class TestFailureHandling:
+    def test_peer_failure_unblocks_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(0, tag=0)  # would deadlock without abort
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spmd(prog, 2)
+
+    def test_recv_timeout_raises_deadlock(self):
+        def prog(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(0, tag=0)
+                except DeadlockError:
+                    return "timed-out"
+            return "done"
+
+        res, _ = run_spmd(prog, 2, timeout=0.2)
+        assert res[1] == "timed-out"
+
+    def test_bad_source_raises(self):
+        def prog(comm):
+            try:
+                comm.recv(99)
+            except CommunicatorError:
+                return "caught"
+
+        res, _ = run_spmd(prog, 2)
+        assert res == ["caught", "caught"]
+
+
+class TestStats:
+    def test_byte_accounting_by_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(16), 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+
+        _, stats = run_spmd(prog, 2)
+        assert stats.by_pair[(0, 1)] == 128
+        assert stats.messages == 1
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 0)
