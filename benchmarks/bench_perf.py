@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Perf-layer benchmark: batched BLAS-3 solves + block cache vs seed path.
+
+Measures factorize + multi-RHS solve (k right-hand sides) wall time for
+the level-restricted hybrid solver in two configurations over the same
+problem:
+
+* ``optimized`` — this PR's defaults: process-wide :class:`BlockCache`
+  (shared leaf/sibling/frontier/pair blocks, perfmodel store policy),
+  tree-wide squared-norm tables, and ``batch_rhs=True`` (lockstep block
+  GMRES, one (N, k) panel matvec per iteration);
+* ``seed`` — ``batch_rhs=False``: the original column-by-column reduced
+  solve (k separate GMRES runs, one GEMV-shaped matvec per iteration).
+
+Emits ``BENCH_perf.json`` with wall times, block-cache hit rate, peak
+persistent storage words, and the speedup ratio per problem size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py                # full
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke        # CI
+    PYTHONPATH=src python benchmarks/bench_perf.py --sizes 4096 --k 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.perf import configure_default_cache
+from repro.solvers import factorize
+
+DEFAULT_SIZES = (1024, 4096, 16384)
+DEFAULT_K = 16
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
+
+
+def make_problem(n: int, seed: int = 2017):
+    gen = np.random.default_rng(seed)
+    X = gen.standard_normal((n, 3))
+    kernel = GaussianKernel(bandwidth=1.0)
+    return X, kernel, gen
+
+
+def run_variant(X, kernel, B, *, batch_rhs: bool, level_restriction: int):
+    """Fresh cache + fresh H-matrix; timed factorize + solve."""
+    cache = configure_default_cache()  # unbounded, empty
+    h = build_hmatrix(
+        X,
+        kernel,
+        tree_config=TreeConfig(leaf_size=64, seed=0),
+        skeleton_config=SkeletonConfig(
+            tau=1e-5,
+            max_rank=64,
+            num_samples=192,
+            num_neighbors=8,
+            level_restriction=level_restriction,
+            seed=1,
+        ),
+    )
+    cfg = SolverConfig(
+        method="hybrid",
+        gmres=GMRESConfig(tol=1e-10, max_iters=300),
+        batch_rhs=batch_rhs,
+    )
+    t0 = time.perf_counter()
+    fact = factorize(h, 0.5, cfg)
+    t_factorize = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    W = fact.solve(B)
+    t_solve = time.perf_counter() - t0
+
+    stats = cache.stats()
+    residual = float(fact.residual(B[:, 0], W[:, 0]))
+    return {
+        "batch_rhs": batch_rhs,
+        "factorize_s": t_factorize,
+        "solve_s": t_solve,
+        "total_s": t_factorize + t_solve,
+        "residual_col0": residual,
+        "reduced_gmres_iters": int(sum(fact.reduced_iterations)),
+        "cache_hit_rate": stats.hit_rate,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache_evictions": stats.evictions,
+        "peak_storage_words": int(stats.peak_words),
+        "hmatrix_storage_words": int(h.storage_words()),
+    }
+
+
+def bench_size(n: int, k: int, level_restriction: int) -> dict:
+    X, kernel, gen = make_problem(n)
+    B = gen.standard_normal((n, k))
+    opt = run_variant(
+        X, kernel, B, batch_rhs=True, level_restriction=level_restriction
+    )
+    seed = run_variant(
+        X, kernel, B, batch_rhs=False, level_restriction=level_restriction
+    )
+    return {
+        "n": n,
+        "k": k,
+        "level_restriction": level_restriction,
+        "optimized": opt,
+        "seed_path": seed,
+        "speedup_total": seed["total_s"] / max(opt["total_s"], 1e-12),
+        "speedup_solve": seed["solve_s"] / max(opt["solve_s"], 1e-12),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument(
+        "--level-restriction", type=int, default=3,
+        help="frontier level L for the hybrid method",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny single-size run for CI (overrides --sizes/--k)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes, k, level = args.sizes, args.k, args.level_restriction
+    if args.smoke:
+        sizes, k, level = [512], 4, 2
+        if args.out == DEFAULT_OUT:
+            # don't clobber the full-run artifact with smoke-sized numbers
+            args.out = DEFAULT_OUT.with_suffix(".smoke.json")
+
+    runs = []
+    for n in sizes:
+        print(f"[bench_perf] n={n} k={k} ...", flush=True)
+        run = bench_size(n, k, level)
+        runs.append(run)
+        print(
+            f"  optimized {run['optimized']['total_s']:.3f}s  "
+            f"seed {run['seed_path']['total_s']:.3f}s  "
+            f"speedup {run['speedup_total']:.2f}x  "
+            f"hit-rate {run['optimized']['cache_hit_rate']:.2f}  "
+            f"peak words {run['optimized']['peak_storage_words']}",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "perf_layer_batched_vs_seed",
+        "method": "hybrid",
+        "kernel": "gaussian(h=1.0), 3-D standard normal points",
+        "runs": runs,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_perf] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

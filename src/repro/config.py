@@ -161,6 +161,12 @@ class SolverConfig:
     #: still O(N log N)).
     storage: str = "full"
 
+    #: process multi-RHS solves as one (N, k) panel: the hybrid reduced
+    #: solve runs a lockstep block GMRES (one BLAS-3 matvec per
+    #: iteration instead of k GEMVs).  ``False`` reproduces the original
+    #: column-by-column path.
+    batch_rhs: bool = True
+
     _METHODS = ("nlogn", "nlog2n", "direct", "hybrid")
 
     def __post_init__(self) -> None:

@@ -81,6 +81,7 @@ class FastKernelSolver:
         self.factorization: HierarchicalFactorization | None = None
         self.times = StageTimes()
         self._X: np.ndarray | None = None
+        self._X_norms: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +103,7 @@ class FastKernelSolver:
         """Build the ball tree and skeletonize (the ASKIT phase)."""
         X = check_points(X)
         self._X = X
+        self._X_norms = self.kernel.prepare_norms(X)
         with Timer() as t:
             self.hmatrix = build_hmatrix(
                 X,
@@ -189,7 +191,7 @@ class FastKernelSolver:
         self._require_fitted()
         X_new = check_points(X_new, "X_new")
         w = check_vector(w, self.n_points, "w")
-        return gsks_matvec(self.kernel, X_new, self._X, w)
+        return gsks_matvec(self.kernel, X_new, self._X, w, norms_b=self._X_norms)
 
     # ------------------------------------------------------------------
     def approximation_error(self, n_probes: int = 8, seed: int | None = 0) -> float:
@@ -212,6 +214,10 @@ class FastKernelSolver:
             "reduced_size": h.skeletons.total_frontier_rank() if ranks else 0,
             "hmatrix_storage_words": h.storage_words(),
         }
+        cache = h.cache_stats()
+        out["cache_hit_rate"] = cache.hit_rate
+        out["cache_peak_words"] = cache.peak_words
+        out["cache_evictions"] = cache.evictions
         if self.factorization is not None:
             out["factor_storage_words"] = self.factorization.storage_words()
             out["min_rcond"] = self.factorization.stability.min_rcond

@@ -58,11 +58,15 @@ def estimate_matrix_error(
 
     rng = as_generator(seed)
     n = h.n_points
+    norms = h.norms.all()
     num = 0.0
     den = 0.0
     for _ in range(max(1, n_probes)):
         g = rng.standard_normal(n)
-        exact = gsks_matvec(h.kernel, h.tree.points, h.tree.points, g)
+        exact = gsks_matvec(
+            h.kernel, h.tree.points, h.tree.points, g,
+            norms_a=norms, norms_b=norms,
+        )
         approx = h.matvec(g)
         num += float(np.dot(exact - approx, exact - approx))
         den += float(np.dot(exact, exact))

@@ -3,11 +3,20 @@
 All vectors here live in *tree order* (the ball tree's permutation);
 the :class:`~repro.core.solver.FastKernelSolver` facade translates to
 and from user order.
+
+Dense block payloads (leaf diagonal blocks and the skeleton-row blocks
+of PRECOMPUTED summations) live in a shared
+:class:`~repro.perf.BlockCache` under this matrix's namespace, so the
+storage budget and store-vs-recompute policy apply uniformly; the
+lightweight :class:`~repro.kernels.summation.KernelSummation` wrappers
+are memoized per node under the cache's striped locks, which lets the
+task-parallel factorization executor fill different blocks
+concurrently.
 """
 
 from __future__ import annotations
 
-import threading
+import weakref
 
 import numpy as np
 
@@ -15,6 +24,8 @@ from repro.config import SkeletonConfig, TreeConfig
 from repro.kernels.base import Kernel
 from repro.kernels.gsks import GSKSWorkspace
 from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.perf.blockcache import BlockCache, BlockInfo, default_cache, next_namespace
+from repro.perf.norms import NormTable
 from repro.sampling.neighbors import NeighborTable
 from repro.skeleton.skeletonize import SkeletonSet, skeletonize
 from repro.tree.balltree import BallTree
@@ -40,6 +51,10 @@ class HMatrix:
         Strategy for off-diagonal skeleton-row blocks during matvec
         ("precomputed" stores them, "fused"/"reevaluate" are
         matrix-free; paper section II-D).
+    cache:
+        :class:`~repro.perf.BlockCache` holding this matrix's dense
+        blocks; defaults to the process-wide
+        :func:`~repro.perf.default_cache`.
     """
 
     def __init__(
@@ -49,6 +64,7 @@ class HMatrix:
         skeletons: SkeletonSet,
         *,
         summation: str | SummationMethod = SummationMethod.PRECOMPUTED,
+        cache: BlockCache | None = None,
     ) -> None:
         self.tree = tree
         self.kernel = kernel
@@ -58,22 +74,41 @@ class HMatrix:
         self._frontier_ids = {f.id for f in self.frontier}
         self._below: list[Node] = self._nodes_at_or_below_frontier()
         self._workspace = GSKSWorkspace()
-        # lazy caches; the lock makes them safe under the task-parallel
-        # factorization executor (repro.parallel.taskdag).
-        self._cache_lock = threading.Lock()
+        #: tree-wide squared norms, shared by every GSKS call site.
+        self.norms = NormTable(tree.points, kernel)
+        self._attach_cache(cache if cache is not None else default_cache())
+        # memoized summation wrappers (dense payloads live in the cache;
+        # fills are guarded per key by the cache's striped locks).
         self._sibling_blocks: dict[int, KernelSummation] = {}
         self._frontier_blocks: dict[int, KernelSummation] = {}
-        self._leaf_blocks: dict[int, np.ndarray] = {}
+        self._own_blocks: dict[int, KernelSummation] = {}
+        self._pair_blocks: dict[tuple, KernelSummation] = {}
 
-    # -- pickling: locks are not picklable; recreate on load -------------
+    def _attach_cache(self, cache: BlockCache) -> None:
+        self.cache = cache
+        self._ns = next_namespace()
+        # release this matrix's blocks when it is garbage collected (the
+        # cache is process-wide and would otherwise pin them forever).
+        self._finalizer = weakref.finalize(self, cache.drop_prefix, self._ns)
+
+    # -- pickling: cache handles are process-local ------------------------
     def __getstate__(self):
         state = dict(self.__dict__)
-        del state["_cache_lock"]
+        state.pop("cache")
+        state.pop("_ns")
+        state.pop("_finalizer")
+        # summation wrappers are lazy caches holding cache handles; the
+        # receiver rebuilds them (kernel evaluation is deterministic, so
+        # rebuilt blocks are bitwise identical).
+        state["_sibling_blocks"] = {}
+        state["_frontier_blocks"] = {}
+        state["_own_blocks"] = {}
+        state["_pair_blocks"] = {}
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self._cache_lock = threading.Lock()
+        self._attach_cache(default_cache())
 
     # ------------------------------------------------------------------
     @property
@@ -99,13 +134,58 @@ class HMatrix:
     # -- cached blocks ---------------------------------------------------
     def leaf_block(self, leaf: Node) -> np.ndarray:
         """Exact dense diagonal block of a leaf."""
-        block = self._leaf_blocks.get(leaf.id)
-        if block is None:
+        key = (self._ns, "leaf", leaf.id)
+        d = self.tree.points.shape[1]
+
+        def build() -> np.ndarray:
             pts = self.tree.node_points(leaf)
-            block = self.kernel(pts, pts)
-            with self._cache_lock:
-                block = self._leaf_blocks.setdefault(leaf.id, block)
-        return block
+            nrm = self.norms.node(leaf)
+            return self.kernel(pts, pts, norms_a=nrm, norms_b=nrm)
+
+        info = BlockInfo(
+            m=leaf.size, n=leaf.size, d=d,
+            flops_per_entry=self.kernel.flops_per_entry,
+        )
+        return self.cache.get_or_compute(key, build, info)
+
+    def _summation(
+        self,
+        store: dict,
+        obj_key,
+        rows: np.ndarray,
+        node: Node | None,
+        method: SummationMethod,
+        cache_kind: str | None,
+        *,
+        norms_a: np.ndarray | None,
+        norms_b: np.ndarray | None,
+        XB: np.ndarray | None = None,
+    ) -> KernelSummation:
+        """Memoize one KernelSummation under a striped lock."""
+        ks = store.get(obj_key)
+        if ks is not None:
+            return ks
+        with self.cache.key_lock((self._ns, "obj", obj_key)):
+            ks = store.get(obj_key)
+            if ks is None:
+                if XB is None:
+                    XB = self.tree.node_points(node)
+                cache_key = (
+                    (self._ns, cache_kind, obj_key) if cache_kind else None
+                )
+                ks = KernelSummation(
+                    self.kernel,
+                    rows,
+                    XB,
+                    method,
+                    workspace=self._workspace,
+                    norms_a=norms_a,
+                    norms_b=norms_b,
+                    cache=self.cache if cache_key else None,
+                    cache_key=cache_key,
+                )
+                store[obj_key] = ks
+        return ks
 
     def sibling_block(self, child: Node) -> KernelSummation:
         """``K_{c~ sib(c)}`` — child-skeleton rows vs raw sibling points.
@@ -113,19 +193,20 @@ class HMatrix:
         ``child`` must be a child of a skeletonized (or frontier) node.
         """
         ks = self._sibling_blocks.get(child.id)
-        if ks is None:
-            sk = self.skeletons[child.id]
-            sib = self.tree.node(child.sibling_id)
-            ks = KernelSummation(
-                self.kernel,
-                self.tree.points[sk.skeleton],
-                self.tree.node_points(sib),
-                self.summation,
-                workspace=self._workspace,
-            )
-            with self._cache_lock:
-                ks = self._sibling_blocks.setdefault(child.id, ks)
-        return ks
+        if ks is not None:
+            return ks
+        sk = self.skeletons[child.id]
+        sib = self.tree.node(child.sibling_id)
+        return self._summation(
+            self._sibling_blocks,
+            child.id,
+            self.tree.points[sk.skeleton],
+            sib,
+            self.summation,
+            "sib",
+            norms_a=self.norms.gather(sk.skeleton),
+            norms_b=self.norms.node(sib),
+        )
 
     def frontier_row_block(self, f: Node) -> KernelSummation:
         """``K_{f~ X}`` — frontier-skeleton rows against *all* points.
@@ -134,18 +215,65 @@ class HMatrix:
         part is subtracted by the caller.
         """
         ks = self._frontier_blocks.get(f.id)
-        if ks is None:
-            sk = self.skeletons[f.id]
-            ks = KernelSummation(
-                self.kernel,
-                self.tree.points[sk.skeleton],
-                self.tree.points,
-                self.summation,
-                workspace=self._workspace,
-            )
-            with self._cache_lock:
-                ks = self._frontier_blocks.setdefault(f.id, ks)
-        return ks
+        if ks is not None:
+            return ks
+        sk = self.skeletons[f.id]
+        return self._summation(
+            self._frontier_blocks,
+            f.id,
+            self.tree.points[sk.skeleton],
+            None,
+            self.summation,
+            "frontier",
+            norms_a=self.norms.gather(sk.skeleton),
+            norms_b=self.norms.all(),
+            XB=self.tree.points,
+        )
+
+    def own_block(self, f: Node) -> KernelSummation:
+        """``K_{f~ f}`` — frontier-skeleton rows vs the node's own points
+        (always matrix-free: used once per product as a correction)."""
+        ks = self._own_blocks.get(f.id)
+        if ks is not None:
+            return ks
+        sk = self.skeletons[f.id]
+        return self._summation(
+            self._own_blocks,
+            f.id,
+            self.tree.points[sk.skeleton],
+            f,
+            SummationMethod.FUSED,
+            None,
+            norms_a=self.norms.gather(sk.skeleton),
+            norms_b=self.norms.node(f),
+        )
+
+    def pair_block(
+        self,
+        f: Node,
+        g: Node,
+        method: SummationMethod | str | None = None,
+    ) -> KernelSummation:
+        """``K_{f~ g}`` — skeleton rows of ``f`` against the raw points of
+        ``g`` (the reduced frontier system's off-diagonal V blocks).
+        For ``g == sib(f)`` prefer :meth:`sibling_block`, which this
+        block would duplicate."""
+        method = SummationMethod(method) if method is not None else self.summation
+        obj_key = (f.id, g.id, method.value)
+        ks = self._pair_blocks.get(obj_key)
+        if ks is not None:
+            return ks
+        skf = self.skeletons[f.id]
+        return self._summation(
+            self._pair_blocks,
+            obj_key,
+            self.tree.points[skf.skeleton],
+            g,
+            method,
+            "pair",
+            norms_a=self.norms.gather(skf.skeleton),
+            norms_b=self.norms.node(g),
+        )
 
     # ------------------------------------------------------------------
     def matvec(self, u: np.ndarray) -> np.ndarray:
@@ -193,14 +321,7 @@ class HMatrix:
         if len(self.frontier) > 1:
             for f in self.frontier:
                 full = self.frontier_row_block(f).matvec(U)
-                sk = self.skeletons[f.id]
-                own = KernelSummation(
-                    self.kernel,
-                    self.tree.points[sk.skeleton],
-                    self.tree.node_points(f),
-                    SummationMethod.FUSED,
-                    workspace=self._workspace,
-                ).matvec(U[f.lo : f.hi])
+                own = self.own_block(f).matvec(U[f.lo : f.hi])
                 zadd(f.id, full - own)
 
         # 4) push skeleton-space contributions down through P^T.
@@ -277,14 +398,7 @@ class HMatrix:
             for f in self.frontier:
                 zf = z[f.id]
                 w += self.frontier_row_block(f).rmatvec(zf)
-                own = KernelSummation(
-                    self.kernel,
-                    self.tree.points[sset[f.id].skeleton],
-                    self.tree.node_points(f),
-                    SummationMethod.FUSED,
-                    workspace=self._workspace,
-                ).rmatvec(zf)
-                w[f.lo : f.hi] -= own
+                w[f.lo : f.hi] -= self.own_block(f).rmatvec(zf)
         return w[:, 0] if single else w
 
     def as_linear_operator(self, lam: float = 0.0):
@@ -316,13 +430,18 @@ class HMatrix:
         return self.matvec(u) + lam * np.asarray(u, dtype=np.float64)
 
     def storage_words(self) -> int:
-        """Persistent float64 words held by cached blocks (memory study)."""
-        total = sum(b.size for b in self._leaf_blocks.values())
-        total += sum(b.storage_words for b in self._sibling_blocks.values())
-        total += sum(b.storage_words for b in self._frontier_blocks.values())
+        """Persistent float64 words held for this matrix (memory study):
+        cached dense blocks under its namespace, the norm table, and the
+        skeleton projection factors."""
+        total = self.cache.words_of_prefix(self._ns)
+        total += self.norms.storage_words()
         for sk in self.skeletons.skeletons.values():
             total += sk.proj.size
         return total
+
+    def cache_stats(self):
+        """Counter snapshot of the underlying block cache (process-wide)."""
+        return self.cache.stats()
 
 
 def build_hmatrix(
@@ -333,9 +452,10 @@ def build_hmatrix(
     skeleton_config: SkeletonConfig | None = None,
     neighbors: NeighborTable | None = None,
     summation: str | SummationMethod = SummationMethod.PRECOMPUTED,
+    cache: BlockCache | None = None,
 ) -> HMatrix:
     """Convenience constructor: tree + skeletonization + HMatrix."""
     X = check_points(X)
     tree = BallTree(X, tree_config)
     sset = skeletonize(tree, kernel, skeleton_config, neighbors=neighbors)
-    return HMatrix(tree, kernel, sset, summation=summation)
+    return HMatrix(tree, kernel, sset, summation=summation, cache=cache)

@@ -40,8 +40,18 @@ class Kernel(abc.ABC):
     flops_per_entry: int = 1
 
     @abc.abstractmethod
-    def _apply(self, block: np.ndarray) -> np.ndarray:
-        """Transform a block of squared distances / inner products in place."""
+    def _apply(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Transform a block of squared distances / inner products.
+
+        The result is written into ``out`` when given (a distinct buffer
+        of the same shape — never an alias of ``block``), else into
+        ``block`` where the kernel's arithmetic allows.  ``block`` may be
+        destroyed either way.  Implementations must not allocate when
+        ``out`` is provided: this is what lets the GSKS tile loop reuse
+        its two workspace buffers across every tile.
+        """
 
     # ------------------------------------------------------------------
     def __call__(

@@ -28,7 +28,11 @@ class GaussianKernel(Kernel):
         check_positive(bandwidth, "bandwidth")
         self.bandwidth = float(bandwidth)
 
-    def _apply(self, block: np.ndarray) -> np.ndarray:
-        block *= -0.5 / (self.bandwidth * self.bandwidth)
-        np.exp(block, out=block)
-        return block
+    def _apply(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = block
+        np.multiply(block, -0.5 / (self.bandwidth * self.bandwidth), out=out)
+        np.exp(out, out=out)
+        return out

@@ -58,6 +58,16 @@ class GSKSWorkspace:
             self._local.tile = tile
         return tile[:m, :n]
 
+    def scratch_view(self, m: int, n: int) -> np.ndarray:
+        """Second (m, n) buffer for kernels whose ``_apply`` needs one
+        (Matern nu >= 3/2 holds the prefactor and the exponential at
+        once).  Same thread-local lifetime as :meth:`tile_view`."""
+        scratch = getattr(self._local, "scratch", None)
+        if scratch is None:
+            scratch = np.empty((self.tile_m, self.tile_n), dtype=np.float64)
+            self._local.scratch = scratch
+        return scratch[:m, :n]
+
     # -- pickling: drop the per-thread buffers ---------------------------
     def __getstate__(self):
         return {"tile_m": self.tile_m, "tile_n": self.tile_n}
@@ -139,7 +149,9 @@ def gsks_matvec(
                 np.maximum(tile, 0.0, out=tile)
             else:
                 np.matmul(Ai, Bj.T, out=tile)
-            tile = kernel._apply(tile)
+            tile = kernel._apply(
+                tile, out=workspace.scratch_view(i1 - i0, j1 - j0)
+            )
             # reduce against u while the tile is hot; never written back.
             w[i0:i1] += tile @ U[j0:j1]
 

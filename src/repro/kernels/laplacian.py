@@ -25,8 +25,12 @@ class LaplacianKernel(Kernel):
         check_positive(bandwidth, "bandwidth")
         self.bandwidth = float(bandwidth)
 
-    def _apply(self, block: np.ndarray) -> np.ndarray:
-        np.sqrt(block, out=block)
-        block *= -1.0 / self.bandwidth
-        np.exp(block, out=block)
-        return block
+    def _apply(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = block
+        np.sqrt(block, out=out)
+        out *= -1.0 / self.bandwidth
+        np.exp(out, out=out)
+        return out

@@ -37,20 +37,35 @@ class MaternKernel(Kernel):
         self.bandwidth = float(bandwidth)
         self.nu = float(nu)
 
-    def _apply(self, block: np.ndarray) -> np.ndarray:
+    def _apply(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         np.sqrt(block, out=block)  # block now holds r
         r = block
         h = self.bandwidth
         if self.nu == 0.5:
-            r *= -1.0 / h
-            np.exp(r, out=r)
-            return r
-        if self.nu == 1.5:
-            z = r * (_SQRT3 / h)
-            out = np.exp(-z)
-            out *= 1.0 + z
+            if out is None:
+                out = r
+            np.multiply(r, -1.0 / h, out=out)
+            np.exp(out, out=out)
             return out
-        z = r * (_SQRT5 / h)
-        out = np.exp(-z)
-        out *= 1.0 + z + z * z / 3.0
+        # nu >= 3/2 needs the polynomial prefactor and the exponential
+        # simultaneously, hence a second buffer.
+        if out is None:
+            out = np.empty_like(block)
+        if self.nu == 1.5:
+            r *= _SQRT3 / h  # r now holds z
+            np.negative(r, out=out)
+            np.exp(out, out=out)  # out = exp(-z)
+            r += 1.0
+            out *= r
+            return out
+        r *= _SQRT5 / h  # r now holds z
+        np.multiply(r, r, out=out)
+        out *= 1.0 / 3.0
+        out += r
+        out += 1.0  # out = 1 + z + z^2/3
+        r *= -1.0
+        np.exp(r, out=r)
+        out *= r
         return out

@@ -27,9 +27,13 @@ class PolynomialKernel(Kernel):
         self.gamma = float(gamma)
         self.coef0 = float(coef0)
 
-    def _apply(self, block: np.ndarray) -> np.ndarray:
-        block *= self.gamma
-        block += self.coef0
+    def _apply(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = block
+        np.multiply(block, self.gamma, out=out)
+        out += self.coef0
         if self.degree != 1:
-            np.power(block, self.degree, out=block)
-        return block
+            np.power(out, self.degree, out=out)
+        return out

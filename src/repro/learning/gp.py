@@ -80,11 +80,14 @@ class GaussianProcessRegressor:
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
-        """Factorize ``K + sigma^2 I`` and solve for the dual weights."""
+        """Factorize ``K + sigma^2 I`` and solve for the dual weights.
+
+        ``y`` may be ``(N,)`` or ``(N, k)`` for ``k`` independent output
+        channels sharing the covariance; the dual weights are obtained
+        in one multi-RHS solve (BLAS-3 throughout).
+        """
         X = check_points(X)
         y = check_vector(y, X.shape[0], "y")
-        if y.ndim != 1:
-            raise ValueError("GP regression expects a single output column")
         self._X, self._y = X, y
         self.solver.fit(X)
         self.solver.factorize(self.noise**2)
@@ -111,7 +114,9 @@ class GaussianProcessRegressor:
         variance = None
         if return_variance:
             # cross-covariance block K(X, X*) as the RHS batch.
-            Kxs = self.kernel(self._X, X_new)  # (N, n_new)
+            Kxs = self.kernel(
+                self._X, X_new, norms_a=self.solver._X_norms
+            )  # (N, n_new)
             V = self.solver.solve(Kxs)
             prior = self.kernel.diag_value()
             variance = prior - np.einsum("ij,ij->j", Kxs, V)
@@ -120,17 +125,22 @@ class GaussianProcessRegressor:
         return GPResult(mean=mean, variance=variance)
 
     def log_marginal_likelihood(self) -> float:
-        """``log p(y | X)`` via the factorization's telescoping slogdet."""
+        """``log p(y | X)`` via the factorization's telescoping slogdet.
+
+        For multi-output ``y`` the channels are independent given the
+        shared covariance, so the value is the sum over channels.
+        """
         self._require_fitted()
-        n = len(self._y)
+        n = self._y.shape[0]
+        k_out = 1 if self._y.ndim == 1 else self._y.shape[1]
         sign, logdet = self.solver.factorization.slogdet()
         if sign <= 0:
             raise ArithmeticError(
                 "covariance factorization is not positive definite "
                 "(increase noise or tighten the skeleton tolerance)"
             )
-        fit_term = -0.5 * float(self._y @ self.alpha)
-        return fit_term - 0.5 * logdet - 0.5 * n * np.log(2.0 * np.pi)
+        fit_term = -0.5 * float(np.sum(self._y * self.alpha))
+        return fit_term - 0.5 * k_out * (logdet + n * np.log(2.0 * np.pi))
 
     def select_noise(self, candidates) -> float:
         """Pick the noise level maximizing the marginal likelihood.

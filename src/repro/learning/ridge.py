@@ -55,7 +55,12 @@ class KernelRidgeRegressor:
         self.train_residual: float | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidgeRegressor":
-        """Solve the training system; stores weights and the residual."""
+        """Solve the training system; stores weights and the residual.
+
+        ``y`` may be ``(N,)`` or ``(N, k)``: multiple targets are solved
+        in one multi-RHS factorized solve and predicted with one GSKS
+        panel product per query block.
+        """
         X = check_points(X)
         y = check_vector(y, X.shape[0], "y")
         self.solver.fit(X)

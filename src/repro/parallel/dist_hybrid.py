@@ -136,14 +136,21 @@ def _hybrid_factor_worker(
     my_points = tree.points[subtree_root.lo : subtree_root.hi]
     method = SummationMethod(config.summation)
     state.vcols = KernelSummation(
-        h.kernel, np.vstack(skel_stacks), my_points, method
+        h.kernel,
+        np.vstack(skel_stacks),
+        my_points,
+        method,
+        norms_b=h.norms.range(subtree_root.lo, subtree_root.hi),
     )
     for f in my_frontier:
+        sk = h.skeletons[f.id]
         state.own_blocks[f.id] = KernelSummation(
             h.kernel,
-            h.tree.points[h.skeletons[f.id].skeleton],
+            h.tree.points[sk.skeleton],
             h.tree.node_points(f),
             method,
+            norms_a=h.norms.gather(sk.skeleton),
+            norms_b=h.norms.node(f),
         )
     return state
 

@@ -53,6 +53,7 @@ def _skeletonize_worker(
     subtree_root = tree.node((1 << n_levels) + comm.rank)
     level_stop = effective_level_stop(tree, config)
     sampler, _ = prepare_sampling(tree, config, neighbors)
+    norms = kernel.prepare_norms(tree.points)
 
     local: dict[int, NodeSkeleton] = {}
 
@@ -71,7 +72,9 @@ def _skeletonize_worker(
                 candidates = np.concatenate(
                     [local[left_id].skeleton, local[right_id].skeleton]
                 )
-            sk = skeletonize_node(tree, kernel, config, sampler, node, candidates)
+            sk = skeletonize_node(
+                tree, kernel, config, sampler, node, candidates, norms
+            )
             if sk is not None:
                 local[nid] = sk
 
@@ -112,7 +115,7 @@ def _skeletonize_worker(
             else:
                 candidates = np.concatenate([left_skel, right_skel])
                 result = skeletonize_node(
-                    tree, kernel, config, sampler, node, candidates
+                    tree, kernel, config, sampler, node, candidates, norms
                 )
         result = node_comm.bcast(result, root=0)
         if result is None:

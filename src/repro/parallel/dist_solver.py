@@ -199,7 +199,13 @@ def _factor_worker_body(
         sib_pts, s_sib = half_comm.bcast(sib, root=0)
         s_mine = h.skeletons[left_id if i_am_left else right_id].rank
 
-        ksib = KernelSummation(h.kernel, sib_pts, my_points, method)
+        ksib = KernelSummation(
+            h.kernel,
+            sib_pts,
+            my_points,
+            method,
+            norms_b=h.norms.range(subtree_root.lo, subtree_root.hi),
+        )
         lstate = _LevelState(node_id=node.id, ksib=ksib, s_mine=s_mine)
         state.levels[l] = lstate
 

@@ -1,0 +1,375 @@
+"""Budgeted LRU cache for dense kernel blocks (paper Table IV, adaptive).
+
+The paper's single-node experiments frame storage as a budget: storing
+every skeleton-row block is fastest per solve but costs O(s N log N)
+words; recomputing everything (GSKS) costs O(1) words but pays kernel
+evaluations per product.  :class:`BlockCache` turns that all-or-nothing
+choice into a per-block decision:
+
+* a **word budget** caps persistent float64 storage; least-recently-used
+  blocks are evicted when a new block needs the space, and callers fall
+  back to their matrix-free (GSKS) path for blocks the cache declines;
+* the **store-vs-recompute policy** consults the
+  :mod:`repro.perfmodel` roofline: a block is only worth storing when
+  re-reading ``m n`` words from memory is modeled faster than
+  recomputing the block with the fused summation;
+* **striped per-key fill locks** let concurrent misses on *different*
+  keys compute in parallel (the task-parallel factorization executor
+  previously serialized on one H-matrix cache lock) while concurrent
+  misses on the *same* key compute the block exactly once;
+* hit/miss/eviction/rejection counters and a peak-storage high-water
+  mark feed the benchmark suite (``benchmarks/bench_perf.py``).
+
+Keys are tuples whose first element is a namespace token (one per
+H-matrix); :meth:`BlockCache.drop_prefix` releases a namespace when its
+owner is garbage collected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perfmodel.machine import MachineSpec
+
+__all__ = [
+    "BlockInfo",
+    "CacheStats",
+    "BlockCache",
+    "default_cache",
+    "set_default_cache",
+    "configure_default_cache",
+]
+
+_WORD_BYTES = 8
+
+#: namespace tokens for cache owners (H-matrices, orphaned summations).
+_NAMESPACES = itertools.count(1)
+
+
+def next_namespace() -> int:
+    """A fresh namespace token for a new cache owner."""
+    return next(_NAMESPACES)
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Cost hint for one ``m x n`` kernel block over ``d``-dim points.
+
+    Drives the store-vs-recompute policy: ``flops_per_entry`` is the
+    kernel's modeled elementwise cost (see
+    :attr:`repro.kernels.base.Kernel.flops_per_entry`).
+    """
+
+    m: int
+    n: int
+    d: int
+    flops_per_entry: int = 1
+
+    @property
+    def words(self) -> int:
+        return self.m * self.n
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of a :class:`BlockCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    rejections: int
+    entries: int
+    words: int
+    peak_words: int
+    budget_words: int | None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BlockCache:
+    """Process-wide budgeted LRU store for dense kernel blocks.
+
+    Parameters
+    ----------
+    budget_words:
+        Maximum persistent float64 words held at any time; ``None``
+        means unbounded (the seed's store-everything behavior).  The
+        budget is a hard invariant — enforced even under concurrent
+        fills (eviction happens under the structure lock, before
+        insertion).
+    n_stripes:
+        Number of per-key fill locks; fills of keys mapping to
+        different stripes proceed concurrently.
+    machine:
+        :class:`~repro.perfmodel.MachineSpec` used by the
+        store-vs-recompute policy.  Defaults to
+        :data:`~repro.perfmodel.machine.PYTHON_NODE`, calibrated for
+        this reproduction's single-process numpy execution (where
+        recomputing kernel entries is far slower than streaming stored
+        blocks, so storing wins whenever the budget allows — the
+        paper's Table IV conclusion for blocks that fit).
+    """
+
+    def __init__(
+        self,
+        budget_words: int | None = None,
+        *,
+        n_stripes: int = 64,
+        machine: MachineSpec | None = None,
+    ) -> None:
+        if budget_words is not None and budget_words < 0:
+            raise ValueError(f"budget_words must be >= 0 or None; got {budget_words}")
+        if n_stripes < 1:
+            raise ValueError("n_stripes must be >= 1")
+        # deferred import: repro.perfmodel's package __init__ reaches the
+        # parallel solvers, which import the H-matrix, which imports us.
+        from repro.perfmodel.machine import PYTHON_NODE
+
+        self.budget_words = budget_words
+        self.machine = machine or PYTHON_NODE
+        self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._words = 0
+        self._lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(n_stripes)]
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejections = 0
+        self._peak_words = 0
+
+    # -- striping --------------------------------------------------------
+    def key_lock(self, key: Hashable) -> threading.Lock:
+        """The stripe lock guarding fills of ``key``.
+
+        Also usable by callers to guard their own lazy per-key
+        initialization (e.g. building a summation object exactly once)
+        without a global lock.
+        """
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    # -- policy ----------------------------------------------------------
+    def should_store(self, info: BlockInfo | None) -> bool:
+        """Store-vs-recompute decision for a block (budget aside).
+
+        Models the Table IV trade: storing pays one stream of ``m n``
+        words per product; recomputing pays a fused GSKS evaluation.
+        With no cost hint the block is assumed worth storing.
+        """
+        if info is None:
+            return True
+        if self.budget_words is not None and info.words > self.budget_words:
+            return False
+        from repro.perfmodel.summation_model import model_gsks_summation
+
+        recompute_s = model_gsks_summation(
+            self.machine, info.m, info.n, max(info.d, 1)
+        ).seconds
+        reread_s = (info.words * _WORD_BYTES) / (self.machine.stream_bw_gbs * 1e9)
+        return recompute_s > reread_s
+
+    # -- core operations -------------------------------------------------
+    def fetch(self, key: Hashable) -> np.ndarray | None:
+        """Return the cached block for ``key`` or None, counting hit/miss."""
+        with self._lock:
+            block = self._entries.get(key)
+            if block is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return block
+
+    def get_or_compute(
+        self,
+        key: Hashable,
+        factory: Callable[[], np.ndarray],
+        info: BlockInfo | None = None,
+    ) -> np.ndarray:
+        """The block for ``key``, computing (once per concurrent miss) if
+        absent.  Always returns the block; stores it only when the policy
+        and budget allow."""
+        block = self.fetch(key)
+        if block is not None:
+            return block
+        with self.key_lock(key):
+            with self._lock:
+                block = self._entries.get(key)
+                if block is not None:
+                    self._entries.move_to_end(key)
+                    return block
+            block = np.asarray(factory())
+            if self.should_store(info):
+                self._admit(key, block)
+            else:
+                with self._lock:
+                    self._rejections += 1
+            return block
+
+    def offer(
+        self,
+        key: Hashable,
+        factory: Callable[[], np.ndarray],
+        info: BlockInfo | None = None,
+    ) -> np.ndarray | None:
+        """Like :meth:`get_or_compute`, but returns None *without
+        computing* when the policy or budget declines the block — the
+        caller then uses its cheaper matrix-free path instead."""
+        if not self.should_store(info):
+            with self._lock:
+                self._rejections += 1
+            return None
+        with self.key_lock(key):
+            with self._lock:
+                block = self._entries.get(key)
+                if block is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return block
+                self._misses += 1
+            block = np.asarray(factory())
+            self._admit(key, block)
+            return block
+
+    def put(self, key: Hashable, block: np.ndarray) -> bool:
+        """Force-store a block (subject to the budget); True if stored."""
+        return self._admit(key, np.asarray(block))
+
+    def _admit(self, key: Hashable, block: np.ndarray) -> bool:
+        words = int(block.size)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._words -= old.size
+            if self.budget_words is not None:
+                if words > self.budget_words:
+                    self._rejections += 1
+                    return False
+                while self._words + words > self.budget_words and self._entries:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._words -= evicted.size
+                    self._evictions += 1
+            self._entries[key] = block
+            self._words += words
+            self._peak_words = max(self._peak_words, self._words)
+            return True
+
+    # -- queries and lifecycle -------------------------------------------
+    def contains(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def words(self) -> int:
+        with self._lock:
+            return self._words
+
+    def words_of_prefix(self, prefix) -> int:
+        """Persistent words held under namespace ``prefix`` (``key[0]``)."""
+        with self._lock:
+            return sum(
+                b.size
+                for k, b in self._entries.items()
+                if isinstance(k, tuple) and k and k[0] == prefix
+            )
+
+    def drop(self, key: Hashable) -> None:
+        with self._lock:
+            block = self._entries.pop(key, None)
+            if block is not None:
+                self._words -= block.size
+
+    def drop_prefix(self, prefix) -> None:
+        """Release every entry under namespace ``prefix``."""
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if isinstance(k, tuple) and k and k[0] == prefix
+            ]
+            for k in doomed:
+                self._words -= self._entries.pop(k).size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._words = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                rejections=self._rejections,
+                entries=len(self._entries),
+                words=self._words,
+                peak_words=self._peak_words,
+                budget_words=self.budget_words,
+            )
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = 0
+            self._evictions = self._rejections = 0
+            self._peak_words = self._words
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"BlockCache(entries={s.entries}, words={s.words}, "
+            f"budget={s.budget_words}, hit_rate={s.hit_rate:.2f})"
+        )
+
+
+# -- process-wide default ------------------------------------------------
+_default_lock = threading.Lock()
+_default: BlockCache | None = None
+
+
+def default_cache() -> BlockCache:
+    """The process-wide cache used when no explicit cache is passed."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = BlockCache()
+        return _default
+
+
+def set_default_cache(cache: BlockCache) -> BlockCache:
+    """Replace the process-wide default cache; returns the previous one."""
+    global _default
+    if not isinstance(cache, BlockCache):
+        raise TypeError("set_default_cache expects a BlockCache")
+    with _default_lock:
+        previous = _default
+        _default = cache
+    return previous if previous is not None else cache
+
+
+def configure_default_cache(
+    budget_words: int | None = None,
+    *,
+    n_stripes: int = 64,
+    machine: MachineSpec | None = None,
+) -> BlockCache:
+    """Install a fresh default cache with the given budget and return it.
+
+    The storage-budget knob of the whole library: H-matrices built
+    afterwards adopt the new cache (existing ones keep the cache they
+    were built with).
+    """
+    cache = BlockCache(budget_words, n_stripes=n_stripes, machine=machine)
+    set_default_cache(cache)
+    return cache

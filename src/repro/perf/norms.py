@@ -1,0 +1,77 @@
+"""Tree-wide precomputed squared-norm table for GSKS call sites.
+
+The rank-d distance update ``||a - b||^2 = ||a||^2 - 2 a.b + ||b||^2``
+needs the squared norms of both point sets.  The seed recomputed them
+with an einsum on nearly every :func:`~repro.kernels.gsks.gsks_matvec`
+call — during skeletonization, matvecs, and factorization — even though
+the points never change after the tree is built.  :class:`NormTable`
+computes them once, in tree order, and hands out views/gathers to every
+call site.
+
+For inner-product kernels (``kernel.uses_distances`` False) the table
+is empty and every accessor returns None, which the kernel paths
+already treat as "no precomputed norms".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.distances import sq_norms
+
+__all__ = ["NormTable"]
+
+
+class NormTable:
+    """Squared norms of one point set, computed once and shared.
+
+    Parameters
+    ----------
+    points:
+        (N, d) array in tree order (rows addressed by the same ``lo:hi``
+        ranges and index arrays the tree uses).
+    kernel:
+        The kernel the norms serve; inner-product kernels need none and
+        get an empty (disabled) table.
+    """
+
+    def __init__(self, points: np.ndarray, kernel: Kernel | None = None) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        self.n_points = points.shape[0]
+        if kernel is not None and not kernel.uses_distances:
+            self._norms: np.ndarray | None = None
+        else:
+            self._norms = sq_norms(points)
+
+    @property
+    def enabled(self) -> bool:
+        return self._norms is not None
+
+    def all(self) -> np.ndarray | None:
+        """Norms of the whole point set (or None when disabled)."""
+        return self._norms
+
+    def range(self, lo: int, hi: int) -> np.ndarray | None:
+        """View of the norms for the contiguous slice ``lo:hi``."""
+        if self._norms is None:
+            return None
+        return self._norms[lo:hi]
+
+    def node(self, node) -> np.ndarray | None:
+        """Norms of a tree node's points (any object with ``lo``/``hi``)."""
+        return self.range(node.lo, node.hi)
+
+    def gather(self, idx: np.ndarray) -> np.ndarray | None:
+        """Norms of an arbitrary index set (skeleton rows, samples)."""
+        if self._norms is None:
+            return None
+        return self._norms[np.asarray(idx)]
+
+    def storage_words(self) -> int:
+        """Persistent float64 words held by the table."""
+        return 0 if self._norms is None else int(self._norms.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"n={self.n_points}" if self.enabled else "disabled"
+        return f"NormTable({state})"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MachineSpec", "HASWELL_NODE", "KNL_NODE"]
+__all__ = ["MachineSpec", "HASWELL_NODE", "KNL_NODE", "PYTHON_NODE"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,22 @@ HASWELL_NODE = MachineSpec(
     stream_bw_gbs=100.0,
     exp_gelems=4.0,
     fused_efficiency=0.70,
+)
+
+#: The execution environment of this reproduction itself: one numpy
+#: process (BLAS may use a few threads, elementwise transcendentals do
+#: not).  Unlike the paper's nodes, the "fused" path here is tiled
+#: numpy, so recomputing a kernel block is exp-throughput bound and far
+#: slower than streaming a stored copy — which is why the
+#: :class:`~repro.perf.BlockCache` store-vs-recompute policy defaults
+#: to this spec rather than HASWELL_NODE.
+PYTHON_NODE = MachineSpec(
+    name="single numpy process (reproduction host)",
+    peak_gflops=50.0,
+    gemm_efficiency=0.80,
+    stream_bw_gbs=16.0,
+    exp_gelems=0.25,
+    fused_efficiency=0.10,
 )
 
 #: Stampede KNL node: Xeon Phi 7250, cache-quadrant mode (section IV).

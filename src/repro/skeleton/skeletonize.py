@@ -168,16 +168,24 @@ def skeletonize_node(
     sampler: RowSampler,
     node: Node,
     candidates: np.ndarray,
+    norms: np.ndarray | None = None,
 ) -> NodeSkeleton | None:
     """Skeletonize one node given its candidate columns.
 
     Returns ``None`` when ``adaptive_stop`` triggers (no compression on
     an internal node).  Deterministic per ``(sampler seed, node id)``.
+    ``norms`` are optional precomputed squared norms of ``tree.points``
+    (one tree-wide table shared by every node's sample block).
     """
     rows = sampler.sample(node)
     X = tree.points
     G = (
-        kernel(X[rows], X[candidates])
+        kernel(
+            X[rows],
+            X[candidates],
+            norms_a=None if norms is None else norms[rows],
+            norms_b=None if norms is None else norms[candidates],
+        )
         if len(rows)
         else np.zeros((0, len(candidates)))
     )
@@ -239,6 +247,7 @@ def skeletonize(
 
     level_stop = effective_level_stop(tree, config)
     sset.effective_level = level_stop
+    norms = kernel.prepare_norms(tree.points)
 
     for level in range(tree.depth, level_stop - 1, -1):
         for node in tree.level_nodes(level):
@@ -253,7 +262,9 @@ def skeletonize(
                 candidates = np.concatenate(
                     [sset[left.id].skeleton, sset[right.id].skeleton]
                 )
-            node_skel = skeletonize_node(tree, kernel, config, sampler, node, candidates)
+            node_skel = skeletonize_node(
+                tree, kernel, config, sampler, node, candidates, norms
+            )
             if node_skel is None:
                 # alpha~ == l~ u r~: no compression; stop here and let the
                 # frontier sit at the children (paper, "Level restriction").

@@ -14,7 +14,7 @@
 """
 
 from repro.solvers.factorization import HierarchicalFactorization, factorize
-from repro.solvers.gmres import GMRESResult, gmres
+from repro.solvers.gmres import GMRESResult, gmres, gmres_batched
 from repro.solvers.cg import CGResult, conjugate_gradient
 from repro.solvers.estimators import effective_dof, estimate_diagonal, hutchinson_trace
 from repro.solvers.preconditioned import PreconditionedSolveResult, solve_exact
@@ -25,6 +25,7 @@ __all__ = [
     "factorize",
     "GMRESResult",
     "gmres",
+    "gmres_batched",
     "CGResult",
     "conjugate_gradient",
     "hutchinson_trace",

@@ -33,7 +33,7 @@ from repro.config import GMRESConfig, SolverConfig
 from repro.exceptions import NotFactorizedError
 from repro.hmatrix.hmatrix import HMatrix
 from repro.kernels.summation import KernelSummation, SummationMethod
-from repro.solvers.gmres import gmres
+from repro.solvers.gmres import gmres, gmres_batched
 from repro.solvers.stability import StabilityReport, estimate_rcond
 from repro.tree.node import Node
 from repro.util import lapack
@@ -301,21 +301,19 @@ class HierarchicalFactorization:
         """Coalesced frontier system (section II-C / root of Alg. II.2)."""
         h = self.hmatrix
         frontier = h.frontier
-        pts = h.tree.points
         slices: dict[int, slice] = {}
         offset = 0
-        skeleton_rows = []
         for f in frontier:
             s = h.skeletons[f.id].rank
             slices[f.id] = slice(offset, offset + s)
-            skeleton_rows.append(h.skeletons[f.id].skeleton)
             offset += s
         size = offset
-        del skeleton_rows
         method = SummationMethod(self.config.summation)
 
         # off-diagonal pair blocks K_{f~ g}; sibling pairs reuse the
-        # blocks the per-node factorization already built/cached.
+        # blocks the per-node factorization already built/cached, the
+        # rest come from the H-matrix's block cache (shared across
+        # factorizations of the same matrix).
         pair_blocks: dict[tuple[int, int], KernelSummation] = {}
         for f in frontier:
             for g in frontier:
@@ -324,12 +322,7 @@ class HierarchicalFactorization:
                 if g.id == f.sibling_id:
                     pair_blocks[(f.id, g.id)] = h.sibling_block(f)
                 else:
-                    pair_blocks[(f.id, g.id)] = KernelSummation(
-                        h.kernel,
-                        pts[h.skeletons[f.id].skeleton],
-                        h.tree.node_points(g),
-                        method,
-                    )
+                    pair_blocks[(f.id, g.id)] = h.pair_block(f, g, method)
 
         z_lu = None
         rcond = 1.0
@@ -446,6 +439,14 @@ class HierarchicalFactorization:
             self.reduced_iterations.append(res.n_iters)
             self.reduced_histories.append(res.residuals)
             return res.x
+        if self.config.batch_rhs:
+            # one block-Krylov lockstep iteration per matvec: every pair
+            # block sees the whole (size, k) panel at once (BLAS-3).
+            results = gmres_batched(self.reduced_matvec, t, cfg)
+            for res in results:
+                self.reduced_iterations.append(res.n_iters)
+                self.reduced_histories.append(res.residuals)
+            return np.stack([res.x for res in results], axis=1)
         cols = []
         for j in range(t.shape[1]):
             res = gmres(self.reduced_matvec, t[:, j], cfg)

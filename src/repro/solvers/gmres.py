@@ -18,7 +18,7 @@ from repro.config import GMRESConfig
 from repro.exceptions import ConvergenceWarning
 from repro.util.flops import count_flops
 
-__all__ = ["GMRESResult", "gmres"]
+__all__ = ["GMRESResult", "gmres", "gmres_batched"]
 
 
 @dataclass
@@ -198,3 +198,170 @@ def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:
             diag = np.finfo(np.float64).tiny
         y[i] /= diag
     return y
+
+
+def gmres_batched(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    B: np.ndarray,
+    config: GMRESConfig | None = None,
+    *,
+    x0: np.ndarray | None = None,
+) -> list[GMRESResult]:
+    """Solve ``A X = B`` for a panel of right-hand sides in lockstep.
+
+    Each column runs the same MGS(+CGS2)/Givens recursion as
+    :func:`gmres` on its own Krylov space, but all columns advance
+    together: every iteration issues **one** ``matvec`` on an ``(n, k)``
+    block, so the operator sees BLAS-3 panels instead of ``k`` separate
+    GEMVs, and the Gram-Schmidt inner products vectorize across columns.
+    Columns that converge early simply ride along (the residual
+    recursion is monotone), with their iteration counts and histories
+    frozen at convergence.
+
+    Parameters
+    ----------
+    matvec:
+        Operator accepting and returning ``(n, k)`` blocks (must act
+        column-wise, i.e. represent one linear operator).
+    B:
+        Right-hand sides, shape ``(n, k)``.
+    config:
+        Shared tolerance / iteration budget / restart length.
+    x0:
+        Optional initial guess, shape ``(n, k)``.
+
+    Returns
+    -------
+    list of :class:`GMRESResult`, one per column (same fields as the
+    single-vector solver, so callers can switch paths transparently).
+    """
+    config = config or GMRESConfig()
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError("gmres_batched expects a 2-D block of right-hand sides")
+    n, k = B.shape
+    bnorm = np.linalg.norm(B, axis=0)
+    nonzero = bnorm > 0.0
+    safe_bnorm = np.where(nonzero, bnorm, 1.0)
+
+    restart = config.restart or config.max_iters
+    X = np.zeros((n, k)) if x0 is None else np.array(x0, dtype=np.float64)
+
+    residuals: list[list[float]] = [[] for _ in range(k)]
+    n_iters = np.zeros(k, dtype=np.int64)
+    converged = ~nonzero  # zero columns are solved by X = 0
+    for c in np.flatnonzero(converged):
+        residuals[c].append(0.0)
+
+    total = 0
+    while total < config.max_iters and not converged.all():
+        R = B - matvec(X) if (x0 is not None or total > 0) else B.copy()
+        beta = np.linalg.norm(R, axis=0)
+        rel = beta / safe_bnorm
+        if total == 0:
+            for c in np.flatnonzero(nonzero):
+                residuals[c].append(float(rel[c]))
+        converged |= nonzero & (rel < config.tol)
+        if converged.all():
+            break
+
+        V = np.zeros((restart + 1, n, k))
+        V[0] = R / np.where(beta > 0.0, beta, 1.0)
+        H = np.zeros((restart + 1, restart, k))
+        cs = np.zeros((restart, k))
+        sn = np.zeros((restart, k))
+        g = np.zeros((restart + 1, k))
+        g[0] = beta
+        active = ~converged
+
+        j = 0
+        for j in range(restart):
+            if total >= config.max_iters:
+                break
+            W = matvec(V[j])
+            # MGS against the basis, all columns at once.
+            for i in range(j + 1):
+                hi = np.einsum("nk,nk->k", V[i], W)
+                H[i, j] = hi
+                W -= hi * V[i]
+            if config.reorthogonalize:
+                for i in range(j + 1):
+                    corr = np.einsum("nk,nk->k", V[i], W)
+                    H[i, j] += corr
+                    W -= corr * V[i]
+            count_flops(
+                4 * (j + 1) * n * k * (2 if config.reorthogonalize else 1),
+                label="gmres_mgs",
+            )
+            hlast = np.linalg.norm(W, axis=0)
+            H[j + 1, j] = hlast
+            # lucky-breakdown columns get a zero direction and are
+            # protected in the triangular solve.
+            V[j + 1] = np.where(hlast > 0.0, W / np.where(hlast > 0.0, hlast, 1.0), 0.0)
+
+            # accumulated Givens rotations, per column.
+            for i in range(j):
+                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = t
+            denom = np.hypot(H[j, j], H[j + 1, j])
+            dz = denom == 0.0
+            denom_safe = np.where(dz, 1.0, denom)
+            cs[j] = np.where(dz, 1.0, H[j, j] / denom_safe)
+            sn[j] = np.where(dz, 0.0, H[j + 1, j] / denom_safe)
+            H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+
+            total += 1
+            rel = np.abs(g[j + 1]) / safe_bnorm
+            for c in np.flatnonzero(active):
+                residuals[c].append(float(rel[c]))
+                n_iters[c] += 1
+            newly = active & (rel < config.tol)
+            converged |= newly
+            active &= ~newly
+            if not active.any():
+                j += 1
+                break
+        else:
+            j = restart
+
+        if j == 0:
+            break
+        Y = _back_substitute_batched(H, g, j)
+        X = X + np.einsum("jnk,jk->nk", V[:j], Y)
+        count_flops(2 * j * n * k, label="gmres_update")
+
+    bad = np.flatnonzero(~converged)
+    if bad.size:
+        worst = max(residuals[c][-1] for c in bad)
+        warnings.warn(
+            f"batched GMRES stopped after {total} iterations with "
+            f"{bad.size}/{k} unconverged columns {bad.tolist()} "
+            f"(worst relative residual {worst:.3e}, tol {config.tol:.1e})",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return [
+        GMRESResult(
+            x=X[:, c].copy(),
+            converged=bool(converged[c]),
+            n_iters=int(n_iters[c]),
+            residuals=residuals[c],
+        )
+        for c in range(k)
+    ]
+
+
+def _back_substitute_batched(H: np.ndarray, g: np.ndarray, j: int) -> np.ndarray:
+    """Column-wise upper-triangular solve; ``H`` is (restart+1, restart, k)."""
+    k = H.shape[2]
+    Y = np.zeros((j, k))
+    tiny = np.finfo(np.float64).tiny
+    for i in range(j - 1, -1, -1):
+        rhs = g[i] - np.einsum("mk,mk->k", H[i, i + 1 : j], Y[i + 1 : j])
+        diag = np.where(H[i, i] == 0.0, tiny, H[i, i])
+        Y[i] = rhs / diag
+    return Y

@@ -63,7 +63,14 @@ def exact_matvec(
 ) -> np.ndarray:
     """``(lambda I + K) v`` with exact kernel entries, matrix-free."""
     pts = fact.hmatrix.tree.points
-    return gsks_matvec(fact.hmatrix.kernel, pts, pts, v, workspace=workspace) + lam * v
+    norms = fact.hmatrix.norms.all()
+    return (
+        gsks_matvec(
+            fact.hmatrix.kernel, pts, pts, v,
+            workspace=workspace, norms_a=norms, norms_b=norms,
+        )
+        + lam * v
+    )
 
 
 def solve_exact(

@@ -112,10 +112,30 @@ class TestLifecycle:
         with pytest.raises(ValueError):
             GaussianProcessRegressor(GaussianKernel(), noise=0.0)
 
-    def test_rejects_multioutput(self):
-        gp = GaussianProcessRegressor(GaussianKernel(), noise=0.1)
-        with pytest.raises(ValueError):
-            gp.fit(RNG.standard_normal((50, 2)), RNG.standard_normal((50, 2)))
+    def test_multioutput_matches_columnwise(self):
+        X = RNG.standard_normal((60, 2))
+        Y = RNG.standard_normal((60, 3))
+        gp = GaussianProcessRegressor(
+            GaussianKernel(bandwidth=0.9), noise=0.2,
+            tree_config=TREE, skeleton_config=SKEL,
+        ).fit(X, Y)
+        assert gp.alpha.shape == (60, 3)
+        Xq = RNG.standard_normal((7, 2))
+        mean = gp.predict(Xq).mean
+        assert mean.shape == (7, 3)
+        lml_cols = []
+        for j in range(3):
+            gp_j = GaussianProcessRegressor(
+                GaussianKernel(bandwidth=0.9), noise=0.2,
+                tree_config=TREE, skeleton_config=SKEL,
+            ).fit(X, Y[:, j])
+            np.testing.assert_allclose(
+                mean[:, j], gp_j.predict(Xq).mean, rtol=1e-8, atol=1e-10
+            )
+            lml_cols.append(gp_j.log_marginal_likelihood())
+        np.testing.assert_allclose(
+            gp.log_marginal_likelihood(), sum(lml_cols), rtol=1e-8
+        )
 
     def test_select_noise_rejects_nonpositive(self, gp_problem):
         X, y, _ = gp_problem

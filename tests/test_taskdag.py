@@ -185,6 +185,8 @@ class TestParallelExecution:
         )
         # poison a cached leaf block so the LU raises.
         leaf = bad.tree.leaves()[0]
-        bad._leaf_blocks[leaf.id] = np.full((leaf.size, leaf.size), np.nan)
+        bad.cache.put(
+            (bad._ns, "leaf", leaf.id), np.full((leaf.size, leaf.size), np.nan)
+        )
         with pytest.raises(Exception):
             execute_factorization(bad, 0.5, n_workers=2)
