@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["TreeConfig", "SkeletonConfig", "SolverConfig", "GMRESConfig"]
+__all__ = [
+    "TreeConfig",
+    "SkeletonConfig",
+    "SolverConfig",
+    "GMRESConfig",
+    "RecoveryConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -121,6 +127,67 @@ class GMRESConfig:
 
 
 @dataclass(frozen=True)
+class RecoveryConfig:
+    """Numerical recovery ladder (docs/ROBUSTNESS.md).
+
+    When ``enabled``, blocks whose reciprocal condition estimate falls
+    below ``rcond_breakdown`` during factorization trigger escalation
+    instead of a warning: first a per-subtree lambda bump
+    (re-factorizing just the offending subtree), then — via
+    :func:`repro.solvers.recovery.robust_factorize` — a hybrid
+    factorization with the frontier moved one level down, then plain
+    preconditioned GMRES on ``lambda I + K~``.  Every rung taken is
+    recorded in a :class:`repro.solvers.recovery.SolverHealth` report.
+
+    Attributes
+    ----------
+    enabled:
+        Off by default: plain :func:`repro.solvers.factorize` keeps its
+        detect-and-warn behavior (paper section III) unless recovery is
+        requested.
+    rcond_breakdown:
+        rcond below this is a *breakdown*, not merely ill-conditioning
+        (the warn threshold ``cond_threshold`` is separate and softer).
+    max_lambda_bumps:
+        Ladder-rung-1 budget: attempts at bumping lambda on the
+        offending diagonal blocks before escalating.
+    lambda_bump0:
+        First bump, relative to the 1-norm of the leaf block; each
+        further attempt multiplies it by ``lambda_bump_factor``.
+    allow_frontier_fallback / allow_iterative_fallback:
+        Gate rungs 2 and 3.  With both off, exhaustion raises
+        :class:`~repro.exceptions.RecoveryExhaustedError`.
+    solve_residual_limit:
+        :func:`repro.solvers.recovery.robust_solve` escalates to the
+        iterative rung when the verified relative residual of a solve
+        exceeds this.
+    """
+
+    enabled: bool = False
+    rcond_breakdown: float = 1e-13
+    max_lambda_bumps: int = 3
+    lambda_bump0: float = 1e-12
+    lambda_bump_factor: float = 100.0
+    allow_frontier_fallback: bool = True
+    allow_iterative_fallback: bool = True
+    solve_residual_limit: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.rcond_breakdown < 1.0):
+            raise ConfigurationError(
+                f"rcond_breakdown must be in (0, 1); got {self.rcond_breakdown}"
+            )
+        if self.max_lambda_bumps < 1:
+            raise ConfigurationError("max_lambda_bumps must be >= 1")
+        if self.lambda_bump0 <= 0.0:
+            raise ConfigurationError("lambda_bump0 must be > 0")
+        if self.lambda_bump_factor < 1.0:
+            raise ConfigurationError("lambda_bump_factor must be >= 1")
+        if self.solve_residual_limit <= 0.0:
+            raise ConfigurationError("solve_residual_limit must be > 0")
+
+
+@dataclass(frozen=True)
 class SolverConfig:
     """Factorization/solve strategy selection.
 
@@ -166,6 +233,9 @@ class SolverConfig:
     #: iteration instead of k GEMVs).  ``False`` reproduces the original
     #: column-by-column path.
     batch_rhs: bool = True
+
+    #: numerical recovery ladder (off by default; see RecoveryConfig).
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     _METHODS = ("nlogn", "nlog2n", "direct", "hybrid")
 

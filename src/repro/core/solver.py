@@ -30,6 +30,12 @@ from repro.hmatrix.hmatrix import HMatrix, build_hmatrix
 from repro.kernels.base import Kernel
 from repro.kernels.gsks import gsks_matvec
 from repro.solvers.factorization import HierarchicalFactorization, factorize
+from repro.solvers.recovery import (
+    IterativeFallback,
+    SolverHealth,
+    robust_factorize,
+    robust_solve,
+)
 from repro.util.timing import StageTimes, Timer
 from repro.util.validation import check_points, check_vector
 
@@ -43,6 +49,8 @@ class SolveInfo:
     residual: float
     gmres_iterations: int
     stable: bool
+    #: recovery-ladder report (None unless solver_config.recovery.enabled).
+    health: SolverHealth | None = None
 
 
 class FastKernelSolver:
@@ -78,7 +86,10 @@ class FastKernelSolver:
         self.skeleton_config = skeleton_config or SkeletonConfig()
         self.solver_config = solver_config or SolverConfig()
         self.hmatrix: HMatrix | None = None
-        self.factorization: HierarchicalFactorization | None = None
+        self.factorization: HierarchicalFactorization | IterativeFallback | None = None
+        #: recovery report of the last factorize/solve cycle (populated
+        #: only when ``solver_config.recovery.enabled``).
+        self.health: SolverHealth | None = None
         self.times = StageTimes()
         self._X: np.ndarray | None = None
         self._X_norms: np.ndarray | None = None
@@ -117,10 +128,21 @@ class FastKernelSolver:
         return self
 
     def factorize(self, lam: float = 0.0) -> "FastKernelSolver":
-        """Factorize ``lambda I + K~`` with the configured method."""
+        """Factorize ``lambda I + K~`` with the configured method.
+
+        With ``solver_config.recovery.enabled``, breakdown escalates
+        through the recovery ladder (docs/ROBUSTNESS.md) instead of
+        degrading silently; the report lands in :attr:`health`.
+        """
         self._require_fitted()
         with Timer() as t:
-            self.factorization = factorize(self.hmatrix, lam, self.solver_config)
+            if self.solver_config.recovery.enabled:
+                self.factorization, self.health = robust_factorize(
+                    self.hmatrix, lam, self.solver_config
+                )
+            else:
+                self.factorization = factorize(self.hmatrix, lam, self.solver_config)
+                self.health = None
         self.times.add("factorize", t.elapsed)
         return self
 
@@ -146,16 +168,31 @@ class FastKernelSolver:
         return self._from_tree(w)
 
     def solve_with_info(self, u: np.ndarray) -> tuple[np.ndarray, SolveInfo]:
-        """Like :meth:`solve`, plus residual/iteration diagnostics."""
+        """Like :meth:`solve`, plus residual/iteration diagnostics.
+
+        With recovery enabled, the solve is residual-verified and
+        escalated through :func:`repro.solvers.recovery.robust_solve`
+        when it misses ``recovery.solve_residual_limit``.
+        """
         self._require_factorized()
         fact = self.factorization
         before = len(fact.reduced_iterations)
-        w = self.solve(u)
-        u_tree = self._to_tree(check_vector(u, self.n_points))
+        if self.health is not None:
+            u_tree = self._to_tree(check_vector(u, self.n_points))
+            with Timer() as t:
+                w_tree, self.health = robust_solve(
+                    fact, u_tree, self.solver_config, self.health
+                )
+            self.times.add("solve", t.elapsed)
+            w = self._from_tree(w_tree)
+        else:
+            w = self.solve(u)
+            u_tree = self._to_tree(check_vector(u, self.n_points))
         info = SolveInfo(
             residual=fact.residual(u_tree, self._to_tree(w)),
             gmres_iterations=sum(fact.reduced_iterations[before:]),
             stable=fact.stability.is_stable,
+            health=self.health,
         )
         return w, info
 

@@ -17,6 +17,9 @@ __all__ = [
     "ConvergenceWarning",
     "CommunicatorError",
     "DeadlockError",
+    "FaultInjectionError",
+    "RankCrashError",
+    "RecoveryExhaustedError",
 ]
 
 
@@ -66,3 +69,26 @@ class CommunicatorError(ReproError, RuntimeError):
 
 class DeadlockError(CommunicatorError):
     """A virtual MPI operation timed out waiting for a peer."""
+
+
+class FaultInjectionError(CommunicatorError):
+    """A receive exhausted its retransmission budget under injected
+    faults (the link is treated as down, not merely lossy)."""
+
+
+class RankCrashError(CommunicatorError):
+    """An injected rank crash (chaos testing).
+
+    Raised *inside* the victim rank by the fault plan; the SPMD
+    supervisor catches it and re-routes the dead rank's work instead of
+    aborting the launch (see :mod:`repro.parallel.vmpi.runtime`).
+    """
+
+
+class RecoveryExhaustedError(StabilityError):
+    """Every rung of the numerical recovery ladder failed.
+
+    Raised only when recovery is enabled and the λ-bump, frontier
+    fallback, and iterative fallback stages all failed to produce a
+    usable solve (see :mod:`repro.solvers.recovery`).
+    """

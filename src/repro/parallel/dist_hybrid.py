@@ -31,9 +31,10 @@ from repro.config import GMRESConfig, SolverConfig
 from repro.exceptions import ConfigurationError
 from repro.hmatrix.hmatrix import HMatrix
 from repro.kernels.summation import KernelSummation, SummationMethod
-from repro.parallel.vmpi import CommStats, Communicator, run_spmd
+from repro.parallel.vmpi import CommStats, Communicator, FaultPlan, run_spmd
 from repro.solvers.factorization import HierarchicalFactorization
 from repro.solvers.gmres import gmres
+from repro.solvers.recovery import SolverHealth
 from repro.tree.node import Node
 
 __all__ = ["DistributedHybrid", "distributed_hybrid_factorize", "distributed_hybrid_solve"]
@@ -69,6 +70,8 @@ class DistributedHybrid:
     config: SolverConfig
     states: list[_HybridRankState]
     factor_stats: CommStats
+    #: fault/recovery history of the launch (chaos runs; always present).
+    health: SolverHealth = field(default_factory=SolverHealth)
 
 
 def _hybrid_factor_worker(
@@ -214,6 +217,7 @@ def distributed_hybrid_factorize(
     lam: float = 0.0,
     n_ranks: int = 2,
     config: SolverConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> DistributedHybrid:
     """Distributed partial factorization up to the frontier.
 
@@ -231,7 +235,11 @@ def distributed_hybrid_factorize(
         raise ConfigurationError(f"n_ranks must be a power of two; got {n_ranks}")
     if n_ranks > (1 << hmatrix.tree.depth):
         raise ConfigurationError("n_ranks exceeds the number of subtrees")
-    states, stats = run_spmd(_hybrid_factor_worker, n_ranks, hmatrix, lam, config)
+    states, stats = run_spmd(
+        _hybrid_factor_worker, n_ranks, hmatrix, lam, config, fault_plan=fault_plan
+    )
+    health = SolverHealth(final_path="distributed-hybrid")
+    health.ingest_comm(stats)
     return DistributedHybrid(
         hmatrix=hmatrix,
         lam=lam,
@@ -239,15 +247,21 @@ def distributed_hybrid_factorize(
         config=config,
         states=list(states),
         factor_stats=stats,
+        health=health,
     )
 
 
 def distributed_hybrid_solve(
-    dist: DistributedHybrid, u: np.ndarray
+    dist: DistributedHybrid,
+    u: np.ndarray,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[np.ndarray, CommStats]:
     """HybridSolve (Algorithm II.6) across the virtual ranks."""
     u = np.asarray(u, dtype=np.float64)
     if u.ndim != 1:
         raise ValueError("distributed hybrid solve expects a single RHS")
-    pieces, stats = run_spmd(_hybrid_solve_worker, dist.n_ranks, dist, u)
+    pieces, stats = run_spmd(
+        _hybrid_solve_worker, dist.n_ranks, dist, u, fault_plan=fault_plan
+    )
+    dist.health.ingest_comm(stats)
     return np.concatenate(pieces), stats

@@ -27,8 +27,9 @@ from repro.config import SolverConfig
 from repro.exceptions import ConfigurationError, NotFactorizedError
 from repro.hmatrix.hmatrix import HMatrix
 from repro.kernels.summation import KernelSummation, SummationMethod
-from repro.parallel.vmpi import CommStats, Communicator, run_spmd
+from repro.parallel.vmpi import CommStats, Communicator, FaultPlan, run_spmd
 from repro.solvers.factorization import HierarchicalFactorization
+from repro.solvers.recovery import SolverHealth
 from repro.util import lapack
 from repro.util.flops import count_flops
 
@@ -87,6 +88,8 @@ class DistributedFactorization:
     config: SolverConfig
     states: list[_RankState]
     factor_stats: CommStats
+    #: fault/recovery history of the launch (chaos runs; always present).
+    health: SolverHealth = field(default_factory=SolverHealth)
 
     @property
     def n_levels(self) -> int:
@@ -321,6 +324,7 @@ def distributed_factorize(
     lam: float = 0.0,
     n_ranks: int = 2,
     config: SolverConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> DistributedFactorization:
     """DistFactorize (Algorithm II.4) over ``n_ranks`` virtual ranks.
 
@@ -328,6 +332,11 @@ def distributed_factorize(
     restriction is not supported in the distributed path (the paper's
     distributed runs in Table III / Figure 4 are unrestricted); use the
     serial :func:`repro.solvers.factorize` for hybrid/restricted runs.
+
+    ``fault_plan`` arms chaos injection (docs/ROBUSTNESS.md): message
+    drops/corruptions/delays are retried transparently and injected rank
+    crashes are recovered by respawn-with-replay; everything observed is
+    recorded in the returned factorization's ``health``.
     """
     config = config or SolverConfig()
     if config.method not in ("nlogn", "direct"):
@@ -342,7 +351,11 @@ def distributed_factorize(
             f"n_ranks={n_ranks} exceeds the number of level-log2(p) "
             f"subtrees (depth {hmatrix.tree.depth})"
         )
-    states, stats = run_spmd(_factor_worker, n_ranks, hmatrix, lam, config)
+    states, stats = run_spmd(
+        _factor_worker, n_ranks, hmatrix, lam, config, fault_plan=fault_plan
+    )
+    health = SolverHealth(final_path="distributed")
+    health.ingest_comm(stats)
     return DistributedFactorization(
         hmatrix=hmatrix,
         lam=lam,
@@ -350,19 +363,27 @@ def distributed_factorize(
         config=config,
         states=list(states),
         factor_stats=stats,
+        health=health,
     )
 
 
 def distributed_solve(
-    dist: DistributedFactorization, u: np.ndarray
+    dist: DistributedFactorization,
+    u: np.ndarray,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[np.ndarray, CommStats]:
     """DistSolve (Algorithm II.5): ``w = (lambda I + K~)^{-1} u``.
 
     ``u`` is in tree order; returns ``(w, comm_stats)`` where the stats
     cover this solve's traffic only (paper: O(s log^2 p) per RHS).
+    Faults observed under a ``fault_plan`` are also appended to
+    ``dist.health``.
     """
     if not dist.states:
         raise NotFactorizedError("distributed factorization has no rank states")
     u = np.asarray(u, dtype=np.float64)
-    pieces, stats = run_spmd(_solve_worker, dist.n_ranks, dist, u)
+    pieces, stats = run_spmd(
+        _solve_worker, dist.n_ranks, dist, u, fault_plan=fault_plan
+    )
+    dist.health.ingest_comm(stats)
     return np.concatenate(pieces, axis=0), stats

@@ -7,10 +7,26 @@ implemented as binomial trees over point-to-point messages, so the
 fabric's message and byte counters reflect the O(log p) per-collective
 cost structure of a real MPI implementation — which is what lets the
 test suite verify the paper's communication-complexity claims.
+
+The runtime is chaos-capable: a seeded
+:class:`~repro.parallel.vmpi.faults.FaultPlan` injects deterministic
+message drops, corruptions, delays, and rank crashes; receives
+retransmit with exponential backoff, and crashed ranks are respawned
+against the fabric's message log (see :mod:`repro.parallel.vmpi.faults`
+and docs/ROBUSTNESS.md).
 """
 
 from repro.parallel.vmpi.fabric import Fabric, CommStats
 from repro.parallel.vmpi.communicator import Communicator
+from repro.parallel.vmpi.faults import FaultPlan, RetryPolicy, plan_from_env
 from repro.parallel.vmpi.runtime import run_spmd
 
-__all__ = ["Fabric", "CommStats", "Communicator", "run_spmd"]
+__all__ = [
+    "Fabric",
+    "CommStats",
+    "Communicator",
+    "FaultPlan",
+    "RetryPolicy",
+    "plan_from_env",
+    "run_spmd",
+]

@@ -7,16 +7,28 @@ counters expose the same asymptotic traffic a real MPI run would.
 :meth:`split` creates sub-communicators (the paper's per-treenode
 communicators in Figure 1) without any central coordination beyond an
 allgather on the parent.
+
+Fault semantics: when the fabric carries a
+:class:`~repro.parallel.vmpi.faults.FaultPlan`, every delivery attempt
+may be dropped, corrupted, or delayed.  :meth:`recv` owns the recovery
+loop — retransmission with exponential backoff up to the plan's
+:class:`~repro.parallel.vmpi.faults.RetryPolicy` budget — and because
+the collectives are built from ``send``/``recv``, ``bcast``/``reduce``
+/``allreduce``/``gather`` inherit retry/timeout/backoff for free.
+Injected rank crashes fire from the per-operation hook at the top of
+``send`` and ``recv``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.exceptions import CommunicatorError
+from repro.exceptions import CommunicatorError, FaultInjectionError
 from repro.parallel.vmpi.fabric import Fabric
+from repro.parallel.vmpi.faults import MessageCorrupted, MessageDropped
 
 __all__ = ["Communicator"]
 
@@ -54,10 +66,17 @@ class Communicator:
         """Global rank id of ``rank`` (default: self) in this group."""
         return self._world_ranks[self._rank if rank is None else rank]
 
+    def _op_hook(self) -> None:
+        """Per-operation fault hook (injected rank crashes)."""
+        plan = self._fabric.fault_plan
+        if plan is not None:
+            plan.on_op(self.world_rank())
+
     # -- point to point ----------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not (0 <= dest < self.size):
             raise CommunicatorError(f"dest {dest} out of range (size {self.size})")
+        self._op_hook()
         self._fabric.post(
             self._key,
             self._rank,
@@ -69,9 +88,25 @@ class Communicator:
         )
 
     def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive with retransmission: retry dropped/corrupted delivery
+        attempts with exponential backoff up to the plan's budget."""
         if not (0 <= source < self.size):
             raise CommunicatorError(f"source {source} out of range (size {self.size})")
-        return self._fabric.wait(self._key, source, self._rank, tag)
+        self._op_hook()
+        policy = self._fabric.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._fabric.wait(self._key, source, self._rank, tag)
+            except (MessageDropped, MessageCorrupted) as fault:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise FaultInjectionError(
+                        f"recv from {source} (tag {tag}) failed after "
+                        f"{attempt} attempts: {fault}"
+                    ) from fault
+                self._fabric.stats.record_fault("retries")
+                time.sleep(policy.delay(attempt - 1))
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         """Simultaneous exchange (no deadlock: mailboxes are buffered)."""

@@ -1,21 +1,45 @@
-"""Message fabric: mailboxes + traffic accounting.
+"""Message fabric: logged mailboxes + traffic/fault accounting.
 
 One :class:`Fabric` is shared by every rank of a :func:`run_spmd`
 launch.  Mailboxes are keyed by ``(comm_key, src, dst, tag)`` so
 messages on different (sub-)communicators never collide; within one
 key, delivery is FIFO — matching MPI's non-overtaking guarantee.
+
+The fabric is a *message-logging* fabric (the classic pessimistic
+message-logging recovery protocol): every post is appended to a
+per-key log and consumption advances a cursor instead of destroying
+the message.  That buys two things:
+
+* **transient faults** — a delivery attempt classified DROP or CORRUPT
+  by the :class:`~repro.parallel.vmpi.faults.FaultPlan` leaves the
+  message in the log; the receiver's retry (with backoff) re-attempts
+  the *same* payload, modeling retransmission;
+* **rank crash recovery** — :meth:`begin_replay` rewinds a dead rank's
+  receive cursors to zero and arms sender-side deduplication, so a
+  respawned replacement re-executes the rank's deterministic program
+  against the logged history: messages it already sent are suppressed
+  as duplicates, messages it already consumed are replayed from the
+  log, and the protocol resumes exactly where the victim died.
 """
 
 from __future__ import annotations
 
 import pickle
 import threading
-from collections import defaultdict, deque
+import time
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import DeadlockError
+from repro.parallel.vmpi.faults import (
+    FaultAction,
+    FaultPlan,
+    MessageCorrupted,
+    MessageDropped,
+    RetryPolicy,
+)
 
 __all__ = ["Fabric", "CommStats"]
 
@@ -42,15 +66,34 @@ def payload_bytes(obj) -> int:
 
 @dataclass
 class CommStats:
-    """Aggregate traffic counters for one SPMD launch.
+    """Aggregate traffic and fault counters for one SPMD launch.
 
     ``messages``/``bytes`` count point-to-point sends (collectives are
-    built from sends, so their cost is included automatically).
+    built from sends, so their cost is included automatically).  The
+    fault counters record every chaos event observed and every recovery
+    action taken — :class:`~repro.solvers.recovery.SolverHealth`
+    ingests them so distributed results carry their fault history.
     """
 
     messages: int = 0
     bytes: int = 0
     by_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: delivery attempts dropped by the fault plan.
+    drops: int = 0
+    #: delivery attempts corrupted (failed the integrity check).
+    corruptions: int = 0
+    #: delivery attempts delayed.
+    delays: int = 0
+    #: receiver retransmission attempts (drops + corruptions retried).
+    retries: int = 0
+    #: injected rank crashes observed.
+    crashes: int = 0
+    #: rank respawns performed by the supervisor.
+    respawns: int = 0
+    #: re-sent messages suppressed by dedup during replay.
+    duplicates_suppressed: int = 0
+    #: one dict per crash recovery performed by the supervisor.
+    rank_recoveries: list[dict] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, src_world: int, dst_world: int, nbytes: int) -> None:
@@ -60,19 +103,63 @@ class CommStats:
             key = (src_world, dst_world)
             self.by_pair[key] = self.by_pair.get(key, 0) + nbytes
 
+    def record_fault(self, kind: str, n: int = 1) -> None:
+        """Bump one of the fault counters (kind = attribute name)."""
+        with self._lock:
+            setattr(self, kind, getattr(self, kind) + n)
+
+    @property
+    def faults(self) -> dict[str, int]:
+        """The fault counters as a plain dict (for health reports)."""
+        return {
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+            "delays": self.delays,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }
+
+    @property
+    def total_faults(self) -> int:
+        return self.drops + self.corruptions + self.delays + self.crashes
+
 
 class Fabric:
-    """Shared mailbox router for one SPMD launch."""
+    """Shared logged-mailbox router for one SPMD launch."""
 
-    def __init__(self, n_ranks: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         self.n_ranks = n_ranks
         self.timeout = timeout
+        self.fault_plan = fault_plan
         self.stats = CommStats()
-        self._boxes: dict[tuple, deque] = defaultdict(deque)
+        # per-key message log + cursors (see module docstring).
+        self._logs: dict[tuple, list] = defaultdict(list)
+        self._consumed: dict[tuple, int] = defaultdict(int)
+        #: per-key failed attempts on the current head message.
+        self._attempts: dict[tuple, int] = defaultdict(int)
+        #: world (src, dst) of each key — each key has exactly one
+        #: sender and one receiver, which is what makes replay local.
+        self._key_world: dict[tuple, tuple[int, int]] = {}
+        #: replay dedup: posts remaining to suppress per key.
+        self._suppress: dict[tuple, int] = defaultdict(int)
+        self._dead: set[int] = set()
         self._cond = threading.Condition()
         self._aborted: BaseException | None = None
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        if self.fault_plan is not None:
+            return self.fault_plan.retry
+        return RetryPolicy()
 
     # ------------------------------------------------------------------
     def post(
@@ -86,18 +173,39 @@ class Fabric:
         src_world: int,
         dst_world: int,
     ) -> None:
-        """Deliver a message (called by the sending rank)."""
-        self.stats.record(src_world, dst_world, payload_bytes(payload))
-        with self._cond:
-            self._boxes[(comm_key, src, dst, tag)].append(payload)
-            self._cond.notify_all()
-
-    def wait(self, comm_key: str, src: int, dst: int, tag: int):
-        """Block until a matching message arrives; FIFO per key."""
+        """Append a message to its key's log (called by the sender)."""
         key = (comm_key, src, dst, tag)
         with self._cond:
+            self._key_world.setdefault(key, (src_world, dst_world))
+            if self._suppress[key] > 0:
+                # replaying rank re-sent a message its predecessor
+                # already delivered: suppress (receivers saw it).
+                self._suppress[key] -= 1
+                self.stats.duplicates_suppressed += 1
+                return
+            self._logs[key].append(payload)
+            self._cond.notify_all()
+        self.stats.record(src_world, dst_world, payload_bytes(payload))
+
+    def wait(self, comm_key: str, src: int, dst: int, tag: int):
+        """One delivery *attempt* for the next message on the key.
+
+        Blocks until a message is available (FIFO per key), then asks
+        the fault plan to classify the attempt:
+
+        * DELIVER — consume and return the payload;
+        * DELAY — sleep ``delay_seconds`` then deliver;
+        * DROP — raise :class:`MessageDropped` (transient; the caller
+          retries with backoff and the message stays logged);
+        * CORRUPT — raise :class:`MessageCorrupted` (the payload failed
+          its integrity check; retransmission re-reads the log).
+        """
+        key = (comm_key, src, dst, tag)
+        delay = 0.0
+        with self._cond:
             ok = self._cond.wait_for(
-                lambda: self._aborted is not None or bool(self._boxes[key]),
+                lambda: self._aborted is not None
+                or self._consumed[key] < len(self._logs[key]),
                 timeout=self.timeout,
             )
             if self._aborted is not None:
@@ -109,7 +217,61 @@ class Fabric:
                     f"recv timed out after {self.timeout}s waiting for "
                     f"(comm={comm_key!r}, src={src}, dst={dst}, tag={tag})"
                 )
-            return self._boxes[key].popleft()
+            seq = self._consumed[key]
+            payload = self._logs[key][seq]
+            if self.fault_plan is not None:
+                action = self.fault_plan.decide(key, seq, self._attempts[key])
+                if action == FaultAction.DROP:
+                    self._attempts[key] += 1
+                    self.stats.drops += 1
+                    raise MessageDropped(f"dropped {key} seq {seq}")
+                if action == FaultAction.CORRUPT:
+                    self._attempts[key] += 1
+                    self.stats.corruptions += 1
+                    raise MessageCorrupted(f"corrupted {key} seq {seq}")
+                if action == FaultAction.DELAY:
+                    self.stats.delays += 1
+                    delay = self.fault_plan.delay_seconds
+            self._consumed[key] = seq + 1
+            self._attempts[key] = 0
+        if delay > 0.0:
+            time.sleep(delay)
+        return payload
+
+    # ------------------------------------------------------------------
+    # failure detection and recovery
+    # ------------------------------------------------------------------
+    def mark_dead(self, world_rank: int) -> None:
+        """Failure detector input: ``world_rank``'s thread has died."""
+        with self._cond:
+            self._dead.add(world_rank)
+            self._cond.notify_all()
+        self.stats.crashes += 1
+
+    def is_dead(self, world_rank: int) -> bool:
+        with self._cond:
+            return world_rank in self._dead
+
+    def begin_replay(self, world_rank: int) -> None:
+        """Arm deterministic replay for a respawned ``world_rank``.
+
+        Rewinds the dead rank's receive cursors to the start of every
+        log it consumes from, and arms sender-side dedup so the posts
+        its replacement re-issues (up to the predecessor's progress) are
+        suppressed rather than duplicated.  Peers are untouched: they
+        keep their cursors and simply resume receiving once the
+        replacement advances past the crash point.
+        """
+        with self._cond:
+            self._dead.discard(world_rank)
+            for key, (src_w, dst_w) in self._key_world.items():
+                if dst_w == world_rank:
+                    self._consumed[key] = 0
+                    self._attempts[key] = 0
+                if src_w == world_rank:
+                    self._suppress[key] = len(self._logs[key])
+            self._cond.notify_all()
+        self.stats.respawns += 1
 
     def abort(self, exc: BaseException) -> None:
         """Wake all waiting ranks after a rank died (deadlock prevention)."""

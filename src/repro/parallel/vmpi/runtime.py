@@ -5,15 +5,39 @@ rank thread gets a :class:`Communicator` for the world group; the
 caller gets every rank's return value plus the fabric's traffic
 statistics.  A rank that raises aborts the whole launch (waking any
 rank blocked in ``recv``) and re-raises in the caller.
+
+**Fault tolerance.**  With a :class:`~repro.parallel.vmpi.faults.FaultPlan`
+(passed explicitly or installed from the ``REPRO_FAULT_RATE``
+environment by the CI chaos job), the launcher becomes a supervisor:
+
+* message drops/corruptions/delays are absorbed by the communicator's
+  retransmission loop — nothing to do here;
+* an injected **rank crash** (:class:`~repro.exceptions.RankCrashError`)
+  is detected when the victim's thread exits.  Instead of aborting, the
+  supervisor re-routes the dead subtree owner's work to its *sibling
+  host* (rank ``r ^ 1``'s side of the tree): a replacement worker for
+  rank ``r`` is spawned against the fabric's message log
+  (:meth:`~repro.parallel.vmpi.fabric.Fabric.begin_replay`).  Because
+  skeletons and kernel blocks are checkpointed in the shared
+  :class:`~repro.hmatrix.hmatrix.HMatrix`, the replacement re-derives
+  the dead rank's factors without re-skeletonizing, replays the
+  messages its predecessor consumed, and its duplicate re-sends are
+  suppressed — so peers blocked mid-collective simply resume.
+
+Recovery events are recorded in ``stats.rank_recoveries`` so
+:class:`~repro.solvers.recovery.SolverHealth` can enumerate them.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 from typing import Any, Callable
 
+from repro.exceptions import RankCrashError
 from repro.parallel.vmpi.communicator import Communicator
 from repro.parallel.vmpi.fabric import CommStats, Fabric
+from repro.parallel.vmpi.faults import FaultPlan, plan_from_env
 from repro.util.flops import current_counter
 
 __all__ = ["run_spmd"]
@@ -24,6 +48,8 @@ def run_spmd(
     n_ranks: int,
     *args,
     timeout: float = 120.0,
+    fault_plan: FaultPlan | None = None,
+    max_respawns: int = 2,
     **kwargs,
 ) -> tuple[list[Any], CommStats]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` virtual ranks.
@@ -37,17 +63,27 @@ def run_spmd(
         Number of virtual ranks (threads).
     timeout:
         Per-receive deadlock timeout in seconds.
+    fault_plan:
+        Chaos schedule (drop/corrupt/delay/crash).  ``None`` checks the
+        ``REPRO_FAULT_RATE`` environment (the CI chaos job) and runs
+        fault-free if that is unset too.
+    max_respawns:
+        Per-rank budget of crash recoveries before the launch aborts.
 
     Returns
     -------
     (results, stats):
         ``results[r]`` is rank r's return value; ``stats`` holds the
-        fabric's message/byte counters for the whole launch.
+        fabric's message/byte/fault counters for the whole launch, plus
+        ``stats.rank_recoveries`` — one dict per crash recovery.
     """
-    fabric = Fabric(n_ranks, timeout=timeout)
+    if fault_plan is None:
+        fault_plan = plan_from_env()
+    fabric = Fabric(n_ranks, timeout=timeout, fault_plan=fault_plan)
     results: list[Any] = [None] * n_ranks
     errors: list[tuple[int, BaseException]] = []
     counter = current_counter()  # charge rank work to the caller's counter
+    done: "queue.Queue[tuple[int, str, BaseException | None]]" = queue.Queue()
 
     def worker(rank: int) -> None:
         comm = Communicator(fabric, "world", rank, list(range(n_ranks)))
@@ -55,23 +91,64 @@ def run_spmd(
             counter.attach()
         try:
             results[rank] = fn(comm, *args, **kwargs)
+        except RankCrashError as exc:
+            # injected crash: report to the supervisor, do NOT abort —
+            # peers stay blocked until the replacement catches up.
+            done.put((rank, "crashed", exc))
+            return
         except BaseException as exc:  # noqa: BLE001 - must abort peers
             errors.append((rank, exc))
             fabric.abort(exc)
+            done.put((rank, "failed", exc))
+            return
         finally:
             if counter is not None:
                 counter.detach()
+        done.put((rank, "ok", None))
 
-    threads = [
-        threading.Thread(target=worker, args=(r,), name=f"vmpi-rank-{r}")
-        for r in range(n_ranks)
-    ]
-    for t in threads:
+    def spawn(rank: int, generation: int) -> threading.Thread:
+        name = (
+            f"vmpi-rank-{rank}"
+            if generation == 0
+            else f"vmpi-rank-{rank}-adopted-by-{rank ^ 1}-gen{generation}"
+        )
+        t = threading.Thread(target=worker, args=(rank,), name=name)
         t.start()
-    for t in threads:
-        t.join()
+        return t
 
+    respawn_counts = [0] * n_ranks
+    recoveries: list[dict] = []
+    for r in range(n_ranks):
+        spawn(r, 0)
+
+    finished = 0
+    while finished < n_ranks:
+        rank, outcome, exc = done.get()
+        if outcome == "crashed":
+            fabric.mark_dead(rank)
+            if respawn_counts[rank] < max_respawns:
+                respawn_counts[rank] += 1
+                sibling = rank ^ 1 if n_ranks > 1 else rank
+                recoveries.append(
+                    {
+                        "stage": "rank_respawn",
+                        "rank": rank,
+                        "adopted_by": sibling,
+                        "generation": respawn_counts[rank],
+                        "error": repr(exc),
+                    }
+                )
+                fabric.begin_replay(rank)
+                spawn(rank, respawn_counts[rank])
+                continue
+            # budget exhausted: treat like a fatal rank failure.
+            errors.append((rank, exc))
+            fabric.abort(exc)
+        finished += 1
+
+    stats = fabric.stats
+    stats.rank_recoveries.extend(recoveries)
     if errors:
         rank, exc = min(errors, key=lambda e: e[0])
         raise RuntimeError(f"virtual rank {rank} failed: {exc!r}") from exc
-    return results, fabric.stats
+    return results, stats

@@ -18,7 +18,15 @@ from repro.solvers.gmres import GMRESResult, gmres, gmres_batched
 from repro.solvers.cg import CGResult, conjugate_gradient
 from repro.solvers.estimators import effective_dof, estimate_diagonal, hutchinson_trace
 from repro.solvers.preconditioned import PreconditionedSolveResult, solve_exact
-from repro.solvers.stability import StabilityReport, estimate_rcond
+from repro.solvers.recovery import (
+    IterativeFallback,
+    RecoveryEvent,
+    SolverHealth,
+    descend_frontier,
+    robust_factorize,
+    robust_solve,
+)
+from repro.solvers.stability import StabilityReport, estimate_rcond, is_breakdown
 
 __all__ = [
     "HierarchicalFactorization",
@@ -35,4 +43,11 @@ __all__ = [
     "solve_exact",
     "StabilityReport",
     "estimate_rcond",
+    "is_breakdown",
+    "RecoveryEvent",
+    "SolverHealth",
+    "IterativeFallback",
+    "descend_frontier",
+    "robust_factorize",
+    "robust_solve",
 ]

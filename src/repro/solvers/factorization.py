@@ -30,11 +30,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import GMRESConfig, SolverConfig
-from repro.exceptions import NotFactorizedError
+from repro.exceptions import NotFactorizedError, StabilityError
 from repro.hmatrix.hmatrix import HMatrix
 from repro.kernels.summation import KernelSummation, SummationMethod
 from repro.solvers.gmres import gmres, gmres_batched
-from repro.solvers.stability import StabilityReport, estimate_rcond
+from repro.solvers.stability import StabilityReport, estimate_rcond, is_breakdown
 from repro.tree.node import Node
 from repro.util import lapack
 from repro.util.flops import count_flops
@@ -120,6 +120,13 @@ class HierarchicalFactorization:
             threshold=config.cond_threshold, enabled=config.check_stability
         )
         self._factored = False
+        #: recovery-ladder events (lambda bumps) taken during this
+        #: factorization; :class:`repro.solvers.recovery.SolverHealth`
+        #: ingests them.  Empty unless ``config.recovery.enabled``.
+        self.recovery_events: list[dict] = []
+        #: per-leaf extra regularization added by the lambda-bump rung.
+        self._lam_extra: dict[int, float] = {}
+        self._leaf_anorms: dict[int, float] = {}
         #: GMRES iteration counts of reduced-system solves (hybrid).
         self.reduced_iterations: list[int] = []
         #: per-solve GMRES relative-residual histories (hybrid) — the
@@ -145,16 +152,21 @@ class HierarchicalFactorization:
     # ------------------------------------------------------------------
     def _factor_leaf(self, leaf: Node) -> None:
         h = self.hmatrix
+        rec = self.config.recovery
         A = np.array(h.leaf_block(leaf), copy=True)
         idx = np.arange(A.shape[0])
-        A[idx, idx] += self.lam
-        anorm = float(np.linalg.norm(A, 1)) if self.config.check_stability else 0.0
+        A[idx, idx] += self.lam + self._lam_extra.get(leaf.id, 0.0)
+        check = self.config.check_stability or rec.enabled
+        anorm = float(np.linalg.norm(A, 1)) if check else 0.0
+        self._leaf_anorms[leaf.id] = anorm
         lu = lapack.lu_factor(A)
         count_flops(2 * A.shape[0] ** 3 // 3, label="factor_leaf_lu")
-        rcond = (
-            estimate_rcond(lu[0], anorm) if self.config.check_stability else 1.0
-        )
+        rcond = estimate_rcond(lu[0], anorm) if check else 1.0
         self.stability.record("leaf", leaf.id, rcond)
+        if rec.enabled and is_breakdown(rcond, rec.rcond_breakdown):
+            raise StabilityError(
+                f"leaf block {leaf.id} broke down (rcond={rcond:.2e})"
+            )
 
         phat = None
         if h.skeletons.is_skeletonized(leaf.id):
@@ -184,13 +196,18 @@ class HierarchicalFactorization:
         Z[s_l:, s_l:] = np.eye(s_r)
         Z[:s_l, s_l:] = B_lr
         Z[s_l:, :s_l] = B_rl
-        anorm = float(np.linalg.norm(Z, 1)) if self.config.check_stability else 0.0
+        rec = self.config.recovery
+        check = self.config.check_stability or rec.enabled
+        anorm = float(np.linalg.norm(Z, 1)) if check else 0.0
         z_lu = lapack.lu_factor(Z)
         count_flops(2 * (s_l + s_r) ** 3 // 3, label="factor_z_lu")
-        rcond = (
-            estimate_rcond(z_lu[0], anorm) if self.config.check_stability else 1.0
-        )
+        rcond = estimate_rcond(z_lu[0], anorm) if check else 1.0
         self.stability.record("reduced", node.id, rcond)
+        if rec.enabled and is_breakdown(rcond, rec.rcond_breakdown):
+            raise StabilityError(
+                f"reduced system at node {node.id} broke down "
+                f"(rcond={rcond:.2e})"
+            )
 
         factor = InternalFactor(
             z_lu=z_lu,
@@ -208,6 +225,82 @@ class HierarchicalFactorization:
                 factor.phat = self._phat_recursive(node)
             else:
                 factor.phat = self._phat_telescoped(node, factor, phat_l, phat_r)
+
+    # ------------------------------------------------------------------
+    # recovery ladder, rung 1: per-subtree lambda bump (docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def _subtree_nodes(self, node: Node) -> list[Node]:
+        """Postorder nodes of ``node``'s subtree (children before parents)."""
+        tree = self.hmatrix.tree
+        out: list[Node] = []
+
+        def visit(n: Node) -> None:
+            if not tree.is_leaf(n):
+                left, right = tree.children(n)
+                visit(left)
+                visit(right)
+            out.append(n)
+
+        visit(node)
+        return out
+
+    def _refactor_subtree(self, node: Node) -> None:
+        """Re-factorize ``node``'s subtree bottom-up with current lambdas.
+
+        Only the subtree is redone: skeletons, sibling blocks, and every
+        factor outside it are untouched — the checkpointed-skeleton
+        property that makes recovery local.
+        """
+        tree = self.hmatrix.tree
+        for n in self._subtree_nodes(node):
+            if tree.is_leaf(n):
+                self._factor_leaf(n)
+            else:
+                self._factor_internal(n)
+
+    def _recover_node(self, node: Node) -> None:
+        """Lambda-bump ladder for a broken-down block at ``node``.
+
+        Bumps the regularization on the subtree's diagonal (leaf) blocks
+        — first by ``lambda_bump0`` relative to each leaf's 1-norm, then
+        geometrically — re-factorizing just that subtree each attempt.
+        Raises :class:`~repro.exceptions.StabilityError` when the bump
+        budget is exhausted (the caller escalates to the next rung).
+        """
+        rec = self.config.recovery
+        tree = self.hmatrix.tree
+        leaves = [n for n in self._subtree_nodes(node) if tree.is_leaf(n)]
+        last: StabilityError | None = None
+        for attempt in range(rec.max_lambda_bumps):
+            scale = rec.lambda_bump_factor**attempt
+            for lf in leaves:
+                bump = (
+                    rec.lambda_bump0
+                    * max(self._leaf_anorms.get(lf.id, 1.0), 1.0)
+                    * scale
+                )
+                self._lam_extra[lf.id] = self._lam_extra.get(lf.id, 0.0) + bump
+            try:
+                self._refactor_subtree(node)
+            except StabilityError as exc:
+                last = exc
+                continue
+            self.recovery_events.append(
+                {
+                    "stage": "lambda_bump",
+                    "node_id": node.id,
+                    "attempts": attempt + 1,
+                    "bumped_leaves": len(leaves),
+                    "max_lam_extra": max(
+                        self._lam_extra[lf.id] for lf in leaves
+                    ),
+                }
+            )
+            return
+        raise StabilityError(
+            f"lambda-bump ladder exhausted ({rec.max_lambda_bumps} attempts) "
+            f"at node {node.id}: {last}"
+        ) from last
 
     def _phat(self, node: Node) -> np.ndarray:
         if self.hmatrix.tree.is_leaf(node):
@@ -336,15 +429,20 @@ class HierarchicalFactorization:
                     Z[slices[f.id], slices[g.id]] += pair_blocks[
                         (f.id, g.id)
                     ].matvec(phat_g)
-            anorm = float(np.linalg.norm(Z, 1)) if self.config.check_stability else 0.0
+            rec = self.config.recovery
+            check = self.config.check_stability or rec.enabled
+            anorm = float(np.linalg.norm(Z, 1)) if check else 0.0
             z_lu = lapack.lu_factor(Z)
             count_flops(2 * size**3 // 3, label="factor_reduced_lu")
-            rcond = (
-                estimate_rcond(z_lu[0], anorm)
-                if self.config.check_stability
-                else 1.0
-            )
+            rcond = estimate_rcond(z_lu[0], anorm) if check else 1.0
             self.stability.record("frontier", 1, rcond)
+            if rec.enabled and is_breakdown(rcond, rec.rcond_breakdown):
+                # no local fix exists for the coalesced system — the
+                # caller (robust_factorize) descends the frontier and
+                # retries with the hybrid method.
+                raise StabilityError(
+                    f"coalesced frontier system broke down (rcond={rcond:.2e})"
+                )
 
         self.reduced = ReducedSystem(
             frontier=frontier,
@@ -603,8 +701,24 @@ def factorize(
     fact = HierarchicalFactorization(hmatrix, lam, config)
     tree = hmatrix.tree
 
+    recover = config.recovery.enabled
+
+    def factor_one(node: Node) -> None:
+        try:
+            if tree.is_leaf(node):
+                fact._factor_leaf(node)
+            else:
+                fact._factor_internal(node)
+        except StabilityError:
+            if not recover:
+                raise
+            # rung 1: bump lambda on the offending subtree's diagonal
+            # blocks and re-factorize just that subtree.  Exhaustion
+            # re-raises for robust_factorize's higher rungs.
+            fact._recover_node(node)
+
     if tree.depth == 0:
-        fact._factor_leaf(tree.root)
+        factor_one(tree.root)
         fact._factored = True
         fact.stability.warn_if_unstable()
         return fact
@@ -617,10 +731,7 @@ def factorize(
     levels = sorted(by_level, reverse=True)
     for level in levels:
         for node in by_level[level]:
-            if tree.is_leaf(node):
-                fact._factor_leaf(node)
-            else:
-                fact._factor_internal(node)
+            factor_one(node)
         if config.storage == "low" and level + 1 in by_level:
             # the level just below is no longer needed: its P^ blocks fed
             # this level's Z and telescoping (paper section III memory

@@ -20,6 +20,12 @@ from repro.util.flops import count_flops
 
 __all__ = ["GMRESResult", "gmres", "gmres_batched"]
 
+#: a Hessenberg entry below this fraction of its column's norm is a
+#: numerical zero — exact-zero tests miss breakdowns masked by roundoff
+#: (a singular operator leaves a ~1e-16 pivot that, divided through,
+#: poisons the update while the Givens recursion reports convergence).
+_BREAKDOWN_RTOL = 1e-13
+
 
 @dataclass
 class GMRESResult:
@@ -36,12 +42,18 @@ class GMRESResult:
     residuals:
         Relative residual norm after every iteration (index 0 is the
         initial residual, always 1.0 for a zero initial guess).
+    breakdown:
+        True when the Arnoldi/Givens recursion hit a zero Hessenberg
+        pivot before converging (Krylov space exhausted — typically a
+        singular operator).  The returned ``x`` is the minimum-norm
+        least-squares solution over the space built so far.
     """
 
     x: np.ndarray
     converged: bool
     n_iters: int
     residuals: list[float] = field(default_factory=list)
+    breakdown: bool = False
 
     @property
     def final_residual(self) -> float:
@@ -108,8 +120,9 @@ def gmres(
     residuals: list[float] = []
     total_iters = 0
     converged = False
+    breakdown = False
 
-    while total_iters < config.max_iters and not converged:
+    while total_iters < config.max_iters and not converged and not breakdown:
         r = b - matvec(x) if (x0 is not None or total_iters > 0) else b.copy()
         beta = float(np.linalg.norm(r))
         rel = beta / bnorm
@@ -133,11 +146,15 @@ def gmres(
                 break
             w = matvec(V[k])
             w, h = _orthogonalize(w, V, config.reorthogonalize)
-            H[: k + 2, k] = h[: k + 2]
-            if h[k + 1] > 0:
-                V.append(w / h[k + 1])
-            else:  # lucky breakdown: exact solution in the current space.
+            colnorm = float(np.linalg.norm(h[: k + 2]))
+            if h[k + 1] <= colnorm * _BREAKDOWN_RTOL:
+                # Krylov space closed (to roundoff): candidate lucky or
+                # hard breakdown, settled by the pivot test below.
+                h[k + 1] = 0.0
                 V.append(np.zeros_like(w))
+            else:
+                V.append(w / h[k + 1])
+            H[: k + 2, k] = h[: k + 2]
 
             # apply accumulated rotations to the new column.
             for i in range(k):
@@ -145,8 +162,14 @@ def gmres(
                 H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
                 H[i, k] = t
             denom = float(np.hypot(H[k, k], H[k + 1, k]))
-            if denom == 0.0:
+            if denom <= colnorm * _BREAKDOWN_RTOL:
+                # zero Hessenberg pivot: the Krylov space is exhausted
+                # and the k-th direction carries no information — a
+                # breakdown, not a lucky exit, unless the residual is
+                # already at tolerance.
                 cs[k], sn[k] = 1.0, 0.0
+                H[k, k] = 0.0  # min-norm back-substitution drops it
+                breakdown = True
             else:
                 cs[k] = H[k, k] / denom
                 sn[k] = H[k + 1, k] / denom
@@ -156,12 +179,18 @@ def gmres(
             g[k] = cs[k] * g[k]
 
             total_iters += 1
-            rel = abs(g[k + 1]) / bnorm
+            # on breakdown the degenerate rotation zeroes g[k+1]; the
+            # true min-norm least-squares residual keeps the g[k] term.
+            rel = abs(g[k]) / bnorm if breakdown else abs(g[k + 1]) / bnorm
             residuals.append(rel)
             if callback is not None:
                 callback(total_iters, rel)
             if rel < config.tol:
                 converged = True
+                breakdown = False  # lucky breakdown: exact solution.
+                k += 1
+                break
+            if breakdown:
                 k += 1
                 break
         else:
@@ -173,30 +202,46 @@ def gmres(
             for i in range(k):
                 update += y[i] * V[i]
             x = x + update
-            if H[k - 1, k - 1] == 0.0 and not converged:
-                break  # breakdown without convergence; stop restarting.
         else:
             break
 
-    if not converged:
+    if breakdown and not converged:
+        warnings.warn(
+            f"GMRES breakdown: zero Hessenberg pivot after {total_iters} "
+            f"iterations (relative residual {residuals[-1]:.3e}, tol "
+            f"{config.tol:.1e}); the operator is singular or the Krylov "
+            "space is exhausted — returning the minimum-norm "
+            "least-squares solution.",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    elif not converged:
         warnings.warn(
             f"GMRES stopped after {total_iters} iterations with relative "
             f"residual {residuals[-1]:.3e} (tol {config.tol:.1e})",
             ConvergenceWarning,
             stacklevel=2,
         )
-    return GMRESResult(x=x, converged=converged, n_iters=total_iters, residuals=residuals)
+    return GMRESResult(
+        x=x,
+        converged=converged,
+        n_iters=total_iters,
+        residuals=residuals,
+        breakdown=breakdown and not converged,
+    )
 
 
 def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:
-    """Solve the k x k upper-triangular system from the Givens sweep."""
+    """Solve the k x k upper-triangular system from the Givens sweep.
+
+    A zero diagonal (breakdown column) contributes nothing: the
+    minimum-norm choice ``y[i] = 0`` — dividing by a tiny stand-in
+    would blow the update up by ~1e308 instead.
+    """
     y = np.zeros(k)
     for i in range(k - 1, -1, -1):
-        y[i] = g[i] - H[i, i + 1 : k] @ y[i + 1 : k]
-        diag = H[i, i]
-        if diag == 0.0:
-            diag = np.finfo(np.float64).tiny
-        y[i] /= diag
+        rhs = g[i] - H[i, i + 1 : k] @ y[i + 1 : k]
+        y[i] = rhs / H[i, i] if H[i, i] != 0.0 else 0.0
     return y
 
 
@@ -216,7 +261,11 @@ def gmres_batched(
     GEMVs, and the Gram-Schmidt inner products vectorize across columns.
     Columns that converge early simply ride along (the residual
     recursion is monotone), with their iteration counts and histories
-    frozen at convergence.
+    frozen at convergence.  Columns that *break down* mid-block (zero
+    Hessenberg pivot — e.g. a singular operator direction) are frozen
+    the same way instead of stalling the whole panel: they stop
+    iterating, keep their minimum-norm least-squares solution, and are
+    reported with ``breakdown=True``.
 
     Parameters
     ----------
@@ -250,11 +299,12 @@ def gmres_batched(
     residuals: list[list[float]] = [[] for _ in range(k)]
     n_iters = np.zeros(k, dtype=np.int64)
     converged = ~nonzero  # zero columns are solved by X = 0
+    broken = np.zeros(k, dtype=bool)
     for c in np.flatnonzero(converged):
         residuals[c].append(0.0)
 
     total = 0
-    while total < config.max_iters and not converged.all():
+    while total < config.max_iters and not (converged | broken).all():
         R = B - matvec(X) if (x0 is not None or total > 0) else B.copy()
         beta = np.linalg.norm(R, axis=0)
         rel = beta / safe_bnorm
@@ -262,7 +312,8 @@ def gmres_batched(
             for c in np.flatnonzero(nonzero):
                 residuals[c].append(float(rel[c]))
         converged |= nonzero & (rel < config.tol)
-        if converged.all():
+        broken &= ~converged
+        if (converged | broken).all():
             break
 
         V = np.zeros((restart + 1, n, k))
@@ -272,7 +323,7 @@ def gmres_batched(
         sn = np.zeros((restart, k))
         g = np.zeros((restart + 1, k))
         g[0] = beta
-        active = ~converged
+        active = ~converged & ~broken
 
         j = 0
         for j in range(restart):
@@ -295,9 +346,13 @@ def gmres_batched(
             )
             hlast = np.linalg.norm(W, axis=0)
             H[j + 1, j] = hlast
-            # lucky-breakdown columns get a zero direction and are
-            # protected in the triangular solve.
-            V[j + 1] = np.where(hlast > 0.0, W / np.where(hlast > 0.0, hlast, 1.0), 0.0)
+            colnorm = np.sqrt(np.einsum("ik,ik->k", H[: j + 2, j], H[: j + 2, j]))
+            # columns whose Krylov space closed (to roundoff) get a zero
+            # direction and are protected in the triangular solve.
+            hz = hlast <= colnorm * _BREAKDOWN_RTOL
+            hlast = np.where(hz, 0.0, hlast)
+            H[j + 1, j] = hlast
+            V[j + 1] = np.where(hz, 0.0, W / np.where(hz, 1.0, hlast))
 
             # accumulated Givens rotations, per column.
             for i in range(j):
@@ -305,23 +360,35 @@ def gmres_batched(
                 H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
                 H[i, j] = t
             denom = np.hypot(H[j, j], H[j + 1, j])
-            dz = denom == 0.0
+            dz = denom <= colnorm * _BREAKDOWN_RTOL
             denom_safe = np.where(dz, 1.0, denom)
             cs[j] = np.where(dz, 1.0, H[j, j] / denom_safe)
             sn[j] = np.where(dz, 0.0, H[j + 1, j] / denom_safe)
-            H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
+            # breakdown columns zero the pivot so back-substitution takes
+            # the minimum-norm branch instead of dividing by roundoff.
+            H[j, j] = np.where(dz, 0.0, cs[j] * H[j, j] + sn[j] * H[j + 1, j])
             H[j + 1, j] = 0.0
             g[j + 1] = -sn[j] * g[j]
             g[j] = cs[j] * g[j]
 
             total += 1
+            # dz columns hit a zero Hessenberg pivot: the degenerate
+            # rotation zeroes g[j+1], so their true min-norm LS residual
+            # keeps the g[j] term (cs=1 left it unchanged).
             rel = np.abs(g[j + 1]) / safe_bnorm
+            rel = np.where(dz, np.abs(g[j]) / safe_bnorm, rel)
             for c in np.flatnonzero(active):
                 residuals[c].append(float(rel[c]))
                 n_iters[c] += 1
             newly = active & (rel < config.tol)
             converged |= newly
             active &= ~newly
+            # hard breakdown: pivot lost *and* not at tolerance — freeze
+            # the column like an early-converged one instead of letting
+            # it spin the whole panel through every remaining restart.
+            newly_broken = active & dz
+            broken |= newly_broken
+            active &= ~newly_broken
             if not active.any():
                 j += 1
                 break
@@ -337,9 +404,14 @@ def gmres_batched(
     bad = np.flatnonzero(~converged)
     if bad.size:
         worst = max(residuals[c][-1] for c in bad)
+        down = np.flatnonzero(broken)
+        extra = (
+            f", {down.size} of them by Hessenberg-pivot breakdown "
+            f"{down.tolist()}" if down.size else ""
+        )
         warnings.warn(
             f"batched GMRES stopped after {total} iterations with "
-            f"{bad.size}/{k} unconverged columns {bad.tolist()} "
+            f"{bad.size}/{k} unconverged columns {bad.tolist()}{extra} "
             f"(worst relative residual {worst:.3e}, tol {config.tol:.1e})",
             ConvergenceWarning,
             stacklevel=2,
@@ -350,18 +422,21 @@ def gmres_batched(
             converged=bool(converged[c]),
             n_iters=int(n_iters[c]),
             residuals=residuals[c],
+            breakdown=bool(broken[c]),
         )
         for c in range(k)
     ]
 
 
 def _back_substitute_batched(H: np.ndarray, g: np.ndarray, j: int) -> np.ndarray:
-    """Column-wise upper-triangular solve; ``H`` is (restart+1, restart, k)."""
+    """Column-wise upper-triangular solve; ``H`` is (restart+1, restart, k).
+
+    Zero diagonals (breakdown columns) take the minimum-norm ``Y = 0``.
+    """
     k = H.shape[2]
     Y = np.zeros((j, k))
-    tiny = np.finfo(np.float64).tiny
     for i in range(j - 1, -1, -1):
         rhs = g[i] - np.einsum("mk,mk->k", H[i, i + 1 : j], Y[i + 1 : j])
-        diag = np.where(H[i, i] == 0.0, tiny, H[i, i])
-        Y[i] = rhs / diag
+        dz = H[i, i] == 0.0
+        Y[i] = np.where(dz, 0.0, rhs / np.where(dz, 1.0, H[i, i]))
     return Y

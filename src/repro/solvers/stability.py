@@ -20,7 +20,17 @@ import numpy as np
 from repro.exceptions import StabilityError, StabilityWarning
 from repro.util import lapack
 
-__all__ = ["StabilityReport", "estimate_rcond"]
+__all__ = ["StabilityReport", "estimate_rcond", "is_breakdown"]
+
+
+def is_breakdown(rcond: float, rcond_breakdown: float) -> bool:
+    """Whether an rcond estimate signals numerical *breakdown*.
+
+    Breakdown (the recovery ladder's trigger) is stricter than the
+    ill-conditioning that merely warns: rcond at or below zero (exactly
+    singular to the estimator) or below the configured floor.
+    """
+    return rcond <= 0.0 or rcond < rcond_breakdown
 
 
 def estimate_rcond(lu: np.ndarray, anorm: float) -> float:

@@ -1,0 +1,220 @@
+"""Chaos-capable vMPI: deterministic fault injection and recovery.
+
+Covers the fault fabric (drop/corrupt/delay/crash under a seeded
+FaultPlan), the communicator's retry/backoff semantics, supervisor
+crash recovery by respawn-with-replay, and the end-to-end acceptance
+run: a distributed factorize+solve under >=5% drop rate plus one rank
+crash must match the fault-free run to solver tolerance, with the
+SolverHealth report enumerating every fault and recovery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import FaultInjectionError
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.parallel.dist_solver import distributed_factorize, distributed_solve
+from repro.parallel.vmpi import FaultPlan, RetryPolicy, plan_from_env, run_spmd
+from repro.parallel.vmpi.faults import ENV_RATE, ENV_SEED
+from repro.solvers import factorize
+
+RNG = np.random.default_rng(11)
+
+#: fast backoff so chaos tests stay quick.
+FAST_RETRY = RetryPolicy(max_retries=32, base_delay=1e-5, max_delay=1e-3)
+
+
+def allreduce_prog(comm):
+    """A collective-heavy workload exercising many p2p messages."""
+    total = comm.allreduce(float(comm.rank + 1))
+    gathered = comm.allgather(comm.rank * 2)
+    return total, gathered
+
+
+class TestFaultPlanDecide:
+    def test_deterministic_per_key(self):
+        plan = FaultPlan(seed=3, drop_rate=0.3)
+        key = ("world", 0, 1, 0)
+        first = [plan.decide(key, seq, 0) for seq in range(50)]
+        second = [plan.decide(key, seq, 0) for seq in range(50)]
+        assert first == second
+
+    def test_attempt_changes_the_draw(self):
+        # faults are transient by construction: the retry attempt is
+        # part of the hash, so a dropped message is not dropped forever.
+        plan = FaultPlan(seed=3, drop_rate=0.5)
+        key = ("world", 0, 1, 0)
+        outcomes = {plan.decide(key, 0, a) for a in range(20)}
+        assert len(outcomes) > 1
+
+    def test_zero_rates_always_deliver(self):
+        plan = FaultPlan(seed=3)
+        assert all(
+            plan.decide(("world", 0, 1, 0), s, 0) == "deliver" for s in range(100)
+        )
+
+
+class TestTransientFaults:
+    def test_drops_are_retried_transparently(self):
+        plan = FaultPlan(seed=5, drop_rate=0.25, retry=FAST_RETRY)
+        clean, _ = run_spmd(allreduce_prog, 4)
+        chaotic, stats = run_spmd(allreduce_prog, 4, fault_plan=plan)
+        assert chaotic == clean
+        assert stats.drops > 0
+        assert stats.retries >= stats.drops
+
+    def test_corruption_and_delay_recovered(self):
+        plan = FaultPlan(
+            seed=6,
+            corrupt_rate=0.15,
+            delay_rate=0.15,
+            delay_seconds=1e-4,
+            retry=FAST_RETRY,
+        )
+        clean, _ = run_spmd(allreduce_prog, 4)
+        chaotic, stats = run_spmd(allreduce_prog, 4, fault_plan=plan)
+        assert chaotic == clean
+        assert stats.corruptions > 0
+        assert stats.delays > 0
+
+    def test_same_seed_same_faults(self):
+        plan_a = FaultPlan(seed=7, drop_rate=0.2, retry=FAST_RETRY)
+        plan_b = FaultPlan(seed=7, drop_rate=0.2, retry=FAST_RETRY)
+        res_a, stats_a = run_spmd(allreduce_prog, 4, fault_plan=plan_a)
+        res_b, stats_b = run_spmd(allreduce_prog, 4, fault_plan=plan_b)
+        assert res_a == res_b
+        assert stats_a.faults == stats_b.faults
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(
+            seed=8,
+            drop_rate=1.0,  # every delivery attempt fails
+            retry=RetryPolicy(max_retries=3, base_delay=1e-6, max_delay=1e-5),
+        )
+        with pytest.raises(RuntimeError) as exc_info:
+            run_spmd(allreduce_prog, 2, fault_plan=plan)
+        assert isinstance(exc_info.value.__cause__, FaultInjectionError)
+
+    def test_fault_free_plan_is_invisible(self):
+        clean, clean_stats = run_spmd(allreduce_prog, 4)
+        armed, armed_stats = run_spmd(
+            allreduce_prog, 4, fault_plan=FaultPlan(seed=1)
+        )
+        assert armed == clean
+        assert armed_stats.total_faults == 0
+        assert armed_stats.messages == clean_stats.messages
+        assert armed_stats.bytes == clean_stats.bytes
+
+
+class TestRankCrashRecovery:
+    def test_crash_is_respawned_and_result_correct(self):
+        plan = FaultPlan(seed=9, crash_rank=1, crash_op=3, retry=FAST_RETRY)
+        clean, _ = run_spmd(allreduce_prog, 4)
+        chaotic, stats = run_spmd(allreduce_prog, 4, fault_plan=plan)
+        assert chaotic == clean
+        assert stats.crashes == 1
+        assert stats.respawns == 1
+        (recovery,) = stats.rank_recoveries
+        assert recovery["stage"] == "rank_respawn"
+        assert recovery["rank"] == 1
+        assert recovery["adopted_by"] == 1 ^ 1  # sibling subtree host
+        assert stats.duplicates_suppressed >= 0
+
+    def test_crash_plus_drops_together(self):
+        plan = FaultPlan(
+            seed=10, drop_rate=0.1, crash_rank=2, crash_op=5, retry=FAST_RETRY
+        )
+        clean, _ = run_spmd(allreduce_prog, 4)
+        chaotic, stats = run_spmd(allreduce_prog, 4, fault_plan=plan)
+        assert chaotic == clean
+        assert stats.crashes == 1 and stats.drops > 0
+
+    def test_respawn_budget_exhaustion_aborts(self):
+        # crash_op fires once per plan, so exhaust the budget by
+        # allowing zero respawns.
+        plan = FaultPlan(seed=11, crash_rank=0, crash_op=2, retry=FAST_RETRY)
+        with pytest.raises(RuntimeError, match="virtual rank 0"):
+            run_spmd(allreduce_prog, 2, fault_plan=plan, max_respawns=0)
+
+
+class TestEnvironmentPlan:
+    def test_unset_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_RATE, raising=False)
+        assert plan_from_env() is None
+
+    def test_env_rate_builds_plan(self, monkeypatch):
+        monkeypatch.setenv(ENV_RATE, "0.08")
+        monkeypatch.setenv(ENV_SEED, "42")
+        plan = plan_from_env()
+        assert plan is not None
+        assert plan.seed == 42
+        assert plan.drop_rate == pytest.approx(0.08)
+        assert plan.corrupt_rate == pytest.approx(0.04)
+
+    def test_run_spmd_picks_up_env_plan(self, monkeypatch):
+        monkeypatch.setenv(ENV_RATE, "0.1")
+        monkeypatch.setenv(ENV_SEED, "3")
+        clean_results = [
+            (float(sum(r + 1 for r in range(4))), [r * 2 for r in range(4)])
+        ] * 4
+        results, stats = run_spmd(allreduce_prog, 4)
+        assert results == clean_results
+        assert stats.total_faults > 0  # chaos was actually armed
+
+
+class TestDistributedChaosAcceptance:
+    """ISSUE acceptance: seeded chaos run matches the fault-free run."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        X = RNG.standard_normal((512, 3))
+        kernel = GaussianKernel(bandwidth=2.0)
+        h = build_hmatrix(
+            X,
+            kernel,
+            tree_config=TreeConfig(leaf_size=32, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-8, max_rank=40, num_samples=160, num_neighbors=8, seed=2
+            ),
+        )
+        u = RNG.standard_normal(512)
+        return h, u
+
+    def test_factorize_solve_under_chaos_matches_fault_free(self, problem):
+        h, u = problem
+        lam = 0.5
+        serial = factorize(h, lam, SolverConfig())
+        w_clean = serial.solve(u)
+
+        plan = FaultPlan(
+            seed=13,
+            drop_rate=0.05,
+            corrupt_rate=0.02,
+            delay_rate=0.02,
+            delay_seconds=1e-4,
+            crash_rank=1,
+            crash_op=10,
+            retry=FAST_RETRY,
+        )
+        dist = distributed_factorize(h, lam, n_ranks=4, fault_plan=plan)
+        solve_plan = FaultPlan(seed=14, drop_rate=0.05, retry=FAST_RETRY)
+        w_chaos, _ = distributed_solve(dist, u, fault_plan=solve_plan)
+
+        # identical answer to solver tolerance despite drops + a crash.
+        scale = max(1.0, float(np.abs(w_clean).max()))
+        assert np.abs(w_chaos - w_clean).max() < 1e-10 * scale
+
+        # the health report enumerates the whole fault history.
+        health = dist.health
+        assert health.degraded
+        assert health.faults["drops"] > 0
+        assert health.faults["crashes"] == 1
+        assert health.faults["respawns"] == 1
+        assert health.faults["retries"] >= health.faults["drops"]
+        respawns = [e for e in health.events if e.stage == "rank_respawn"]
+        assert len(respawns) == 1
+        assert respawns[0].node_id == 1  # the crashed rank
+        summary = health.summary()
+        assert summary["degraded"] and summary["faults"]["drops"] > 0

@@ -7,7 +7,7 @@ import pytest
 
 from repro.config import GMRESConfig
 from repro.exceptions import ConvergenceWarning
-from repro.solvers.gmres import gmres
+from repro.solvers.gmres import gmres, gmres_batched
 
 RNG = np.random.default_rng(7)
 
@@ -132,3 +132,83 @@ class TestHardCases:
             res = gmres(lambda v: P @ v, b, GMRESConfig(tol=1e-12, max_iters=50))
         # b is in the range here, so GMRES can still converge; must not crash.
         assert np.isfinite(res.x).all()
+
+
+class TestBreakdown:
+    """Hard breakdown (RHS outside the operator's range) is flagged,
+    warned about, and answered with a finite least-squares solution —
+    not silently reported as converged with a poisoned update."""
+
+    A = np.diag([1.0, 2.0, 3.0, 0.0])  # singular
+    b_null = np.ones(4)  # has a null-space component → no solution
+    b_range = np.array([1.0, 2.0, 3.0, 0.0])  # in range(A)
+
+    def test_breakdown_flag_and_warning(self):
+        with pytest.warns(ConvergenceWarning, match="breakdown"):
+            res = gmres(
+                lambda v: self.A @ v,
+                self.b_null,
+                GMRESConfig(tol=1e-10, max_iters=40, restart=10),
+            )
+        assert res.breakdown and not res.converged
+        assert np.isfinite(res.x).all()
+
+    def test_breakdown_residual_is_true_least_squares(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            res = gmres(
+                lambda v: self.A @ v,
+                self.b_null,
+                GMRESConfig(tol=1e-10, max_iters=40, restart=10),
+            )
+        true = np.linalg.norm(self.b_null - self.A @ res.x) / np.linalg.norm(
+            self.b_null
+        )
+        # min ||b - Ax|| leaves exactly the null-space component: rel 0.5.
+        assert res.final_residual == pytest.approx(0.5, abs=1e-12)
+        assert true == pytest.approx(res.final_residual, abs=1e-10)
+
+    def test_lucky_breakdown_still_converges(self):
+        res = gmres(
+            lambda v: self.A @ v,
+            self.b_range,
+            GMRESConfig(tol=1e-10, max_iters=40),
+        )
+        assert res.converged and not res.breakdown
+        assert np.allclose(self.A @ res.x, self.b_range, atol=1e-9)
+
+    def test_batched_freezes_broken_column(self):
+        # col 0 is solvable, col 1 breaks down; the panel must converge
+        # col 0 and freeze col 1 instead of spinning every restart.
+        B = np.stack([self.b_range, self.b_null], axis=1)
+        cfg = GMRESConfig(tol=1e-10, max_iters=200, restart=10)
+        with pytest.warns(ConvergenceWarning, match="breakdown"):
+            results = gmres_batched(lambda V: self.A @ V, B, cfg)
+        ok, bad = results
+        assert ok.converged and not ok.breakdown
+        assert np.allclose(self.A @ ok.x, self.b_range, atol=1e-9)
+        assert bad.breakdown and not bad.converged
+        assert np.isfinite(bad.x).all()
+        assert bad.final_residual == pytest.approx(0.5, abs=1e-10)
+        # frozen, not stalled: the broken column stops at the breakdown
+        # iteration instead of burning the whole budget.
+        assert bad.n_iters <= 10
+
+    def test_batched_matches_single_on_breakdown(self):
+        B = self.b_null[:, None]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            single = gmres(
+                lambda v: self.A @ v,
+                self.b_null,
+                GMRESConfig(tol=1e-10, max_iters=40, restart=10),
+            )
+            (batched,) = gmres_batched(
+                lambda V: self.A @ V,
+                B,
+                GMRESConfig(tol=1e-10, max_iters=40, restart=10),
+            )
+        assert batched.breakdown == single.breakdown is True
+        assert batched.final_residual == pytest.approx(
+            single.final_residual, abs=1e-10
+        )
