@@ -34,6 +34,7 @@ import numpy as np
 from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
 from repro.hmatrix import build_hmatrix
 from repro.kernels import GaussianKernel
+from repro.obs import reset_telemetry, telemetry_snapshot
 from repro.perf import configure_default_cache
 from repro.solvers import factorize
 
@@ -126,6 +127,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
     parser.add_argument(
+        "--trace-out", type=pathlib.Path, default=None,
+        help="also write the standalone telemetry blob "
+             "(repro.telemetry/v1) to this path (CI uploads it)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="tiny single-size run for CI (overrides --sizes/--k)",
     )
@@ -138,6 +144,7 @@ def main(argv=None) -> int:
             # don't clobber the full-run artifact with smoke-sized numbers
             args.out = DEFAULT_OUT.with_suffix(".smoke.json")
 
+    reset_telemetry()  # the blob should cover exactly this bench run
     runs = []
     for n in sizes:
         print(f"[bench_perf] n={n} k={k} ...", flush=True)
@@ -152,15 +159,21 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    telemetry = telemetry_snapshot()
     payload = {
         "benchmark": "perf_layer_batched_vs_seed",
         "method": "hybrid",
         "kernel": "gaussian(h=1.0), 3-D standard normal points",
         "runs": runs,
+        "telemetry": telemetry,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[bench_perf] wrote {args.out}")
+    if args.trace_out is not None:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        args.trace_out.write_text(json.dumps(telemetry, indent=2) + "\n")
+        print(f"[bench_perf] wrote telemetry blob {args.trace_out}")
     return 0
 
 

@@ -6,6 +6,8 @@ Examples
 
     python -m repro solve --dataset normal --n 8192 --bandwidth 4 --lam 1
     python -m repro solve --dataset susy --method hybrid --level 3
+    python -m repro solve --dataset normal --trace --trace-out run.json
+    python -m repro trace --dataset normal --n 2048
     python -m repro classify --dataset covtype --n 4096
     python -m repro info
 
@@ -15,6 +17,7 @@ Installed as the ``repro`` console script as well.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -60,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["nlogn", "nlog2n", "direct", "hybrid"])
     p_solve.add_argument("--level", type=int, default=0,
                          help="level restriction L (0 = none)")
+    p_solve.add_argument("--trace", action="store_true",
+                         help="render the observability span trace after "
+                              "solving (docs/OBSERVABILITY.md)")
+    p_solve.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the telemetry JSON blob "
+                              "(repro.telemetry/v1) to PATH")
+
+    p_trace = sub.add_parser(
+        "trace", parents=[common],
+        help="run the solve pipeline and render its span trace + metrics",
+    )
+    p_trace.add_argument("--lam", type=float, default=None,
+                         help="regularization (default: dataset's)")
+    p_trace.add_argument("--method", default="nlogn",
+                         choices=["nlogn", "nlog2n", "direct", "hybrid"])
+    p_trace.add_argument("--level", type=int, default=0,
+                         help="level restriction L (0 = none)")
+    p_trace.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="also write the telemetry JSON blob to PATH")
 
     p_cls = sub.add_parser(
         "classify", parents=[common],
@@ -114,7 +136,26 @@ def _cmd_solve(args) -> int:
     print(f"depth {d['depth']}  mean rank {d['mean_rank']:.1f}  "
           f"reduced dim {d['reduced_size']}  "
           f"factor storage {d['factor_storage_words'] / 1e6:.1f} Mwords")
+    if getattr(args, "trace", False):
+        from repro.obs import render_trace
+
+        print()
+        print(render_trace())
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        with open(trace_out, "w") as f:
+            json.dump(solver.telemetry(), f, indent=2)
+        print(f"telemetry blob written to {trace_out}")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace``: a solve run with the span trace as the output."""
+    from repro.obs import reset_telemetry
+
+    reset_telemetry()  # the trace should cover exactly this run
+    args.trace = True
+    return _cmd_solve(args)
 
 
 def _cmd_classify(args) -> int:
@@ -158,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "classify":
         return _cmd_classify(args)
     return _cmd_info(args)

@@ -135,7 +135,7 @@ class FastKernelSolver:
         degrading silently; the report lands in :attr:`health`.
         """
         self._require_fitted()
-        with Timer() as t:
+        with self.times.time("factorize"):
             if self.solver_config.recovery.enabled:
                 self.factorization, self.health = robust_factorize(
                     self.hmatrix, lam, self.solver_config
@@ -143,7 +143,6 @@ class FastKernelSolver:
             else:
                 self.factorization = factorize(self.hmatrix, lam, self.solver_config)
                 self.health = None
-        self.times.add("factorize", t.elapsed)
         return self
 
     # ------------------------------------------------------------------
@@ -162,9 +161,8 @@ class FastKernelSolver:
         """
         self._require_factorized()
         u = check_vector(u, self.n_points)
-        with Timer() as t:
+        with self.times.time("solve"):
             w = self.factorization.solve(self._to_tree(u))
-        self.times.add("solve", t.elapsed)
         return self._from_tree(w)
 
     def solve_with_info(self, u: np.ndarray) -> tuple[np.ndarray, SolveInfo]:
@@ -179,11 +177,10 @@ class FastKernelSolver:
         before = len(fact.reduced_iterations)
         if self.health is not None:
             u_tree = self._to_tree(check_vector(u, self.n_points))
-            with Timer() as t:
+            with self.times.time("solve"):
                 w_tree, self.health = robust_solve(
                     fact, u_tree, self.solver_config, self.health
                 )
-            self.times.add("solve", t.elapsed)
             w = self._from_tree(w_tree)
         else:
             w = self.solve(u)
@@ -260,3 +257,23 @@ class FastKernelSolver:
             out["min_rcond"] = self.factorization.stability.min_rcond
             out["stable"] = self.factorization.stability.is_stable
         return out
+
+    def telemetry(self) -> dict:
+        """The process telemetry blob plus this solver's stage times.
+
+        One JSON-serializable answer to "what did this solve actually
+        do?": the span tree (tree build, skeletonize, factorize, solve,
+        per-level factorization), every metric series (block cache,
+        fabric faults, GMRES, recovery, warnings), this solver's stage
+        accumulators, and the recovery-health digest when armed.  See
+        docs/OBSERVABILITY.md for the schema.
+        """
+        from repro.obs import telemetry_snapshot
+
+        if self.hmatrix is not None:
+            self.hmatrix.cache.publish()
+        blob = telemetry_snapshot()
+        blob["stages"] = dict(self.times.stages)
+        if self.health is not None:
+            blob["health"] = self.health.summary()
+        return blob

@@ -455,7 +455,12 @@ def build_hmatrix(
     cache: BlockCache | None = None,
 ) -> HMatrix:
     """Convenience constructor: tree + skeletonization + HMatrix."""
+    from repro.obs import span
+
     X = check_points(X)
-    tree = BallTree(X, tree_config)
-    sset = skeletonize(tree, kernel, skeleton_config, neighbors=neighbors)
+    with span("tree", counters=True, attrs={"n": X.shape[0], "d": X.shape[1]}):
+        tree = BallTree(X, tree_config)
+    with span("skeletonize", counters=True, fallback=True,
+              attrs={"depth": tree.depth}):
+        sset = skeletonize(tree, kernel, skeleton_config, neighbors=neighbors)
     return HMatrix(tree, kernel, sset, summation=summation, cache=cache)

@@ -23,6 +23,7 @@ import threading
 import numpy as np
 
 from repro.kernels.base import Kernel
+from repro.obs import registry, tracer
 from repro.util.flops import count_flops, count_mops
 
 __all__ = ["GSKSWorkspace", "gsks_matvec"]
@@ -132,6 +133,13 @@ def gsks_matvec(
         if norms_b is None:
             norms_b = np.einsum("ij,ij->i", XB, XB)
 
+    # per-tile spans are behind the sampling knob (REPRO_TRACE_TILES):
+    # with sampling off (the default) the tracer is never consulted in
+    # the inner loop — only the tile counter is bumped, once per call.
+    tr = tracer()
+    trace_tiles = tr.sample_every > 0
+    n_tiles = 0
+
     w = np.zeros((m, k), dtype=np.float64)
     for i0 in range(0, m, tm):
         i1 = min(i0 + tm, m)
@@ -139,6 +147,18 @@ def gsks_matvec(
         na = norms_a[i0:i1] if use_dist else None
         for j0 in range(0, n, tn):
             j1 = min(j0 + tn, n)
+            n_tiles += 1
+            handle = (
+                tr.span(
+                    "gsks.tile",
+                    attrs={"m": i1 - i0, "n": j1 - j0},
+                    sampled=True,
+                )
+                if trace_tiles
+                else None
+            )
+            if handle is not None:
+                handle.__enter__()
             Bj = XB[j0:j1]
             tile = workspace.tile_view(i1 - i0, j1 - j0)
             if use_dist:
@@ -154,6 +174,10 @@ def gsks_matvec(
             )
             # reduce against u while the tile is hot; never written back.
             w[i0:i1] += tile @ U[j0:j1]
+            if handle is not None:
+                handle.__exit__(None, None, None)
+
+    registry().counter("gsks.tiles").inc(n_tiles)
 
     mt, nt = m, n
     count_flops(

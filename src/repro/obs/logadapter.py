@@ -1,0 +1,98 @@
+"""Rate-limited warning/logging adapter for solver convergence chatter.
+
+The iterative solvers used to ``warnings.warn`` on every unconverged or
+broken-down solve — a cross-validation sweep over a near-singular
+operator produced hundreds of identical lines.  :func:`emit_warning` is
+now the single outlet for solver diagnostics in ``repro.solvers`` (CI
+lints for bare ``warnings.warn`` there):
+
+* it bumps the ``warnings.emitted{key=...}`` counter in the metrics
+  registry — the count is always exact even when output is throttled;
+* it logs through the ``repro`` :mod:`logging` hierarchy, rate-limited
+  per key (at most :data:`DEFAULT_BURST` records per key per
+  :data:`DEFAULT_WINDOW_S` seconds; overflow bumps
+  ``warnings.suppressed_logs{key=...}`` instead of printing);
+* it still issues a real :func:`warnings.warn` with the caller's
+  category, so ``pytest.warns`` / ``warnings.simplefilter`` contracts
+  (and user filters) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import warnings
+
+from repro.obs.metrics import MetricsRegistry, registry
+
+__all__ = ["emit_warning", "get_logger", "RateLimiter"]
+
+#: per-key log budget within one window.
+DEFAULT_BURST = 5
+#: rate-limit window in seconds.
+DEFAULT_WINDOW_S = 60.0
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The library logger (``repro`` hierarchy, no handlers imposed)."""
+    return logging.getLogger(name)
+
+
+class RateLimiter:
+    """Fixed-window per-key limiter: ``allow(key)`` is True at most
+    ``burst`` times per ``window_s`` seconds for each key."""
+
+    def __init__(self, burst: int = DEFAULT_BURST, window_s: float = DEFAULT_WINDOW_S):
+        self.burst = burst
+        self.window_s = window_s
+        self._lock = threading.Lock()
+        self._windows: dict[str, tuple[float, int]] = {}
+
+    def allow(self, key: str, now: float | None = None) -> bool:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            start, count = self._windows.get(key, (now, 0))
+            if now - start >= self.window_s:
+                start, count = now, 0
+            allowed = count < self.burst
+            self._windows[key] = (start, count + 1 if allowed else count)
+            return allowed
+
+
+_limiter = RateLimiter()
+
+
+def emit_warning(
+    key: str,
+    message: str,
+    category: type[Warning] = UserWarning,
+    *,
+    stacklevel: int = 2,
+    metrics: MetricsRegistry | None = None,
+) -> None:
+    """Route one solver warning through metrics + logging + ``warnings``.
+
+    Parameters
+    ----------
+    key:
+        Stable series key (e.g. ``"gmres.breakdown"``) — the metric
+        label and the rate-limit bucket.
+    message:
+        Human-readable text, already formatted.
+    category:
+        The :mod:`warnings` category to raise (preserves
+        ``pytest.warns`` and user filter behavior).
+    stacklevel:
+        As for :func:`warnings.warn`, counted from the *caller* of this
+        function (the adapter frame is compensated for).
+    metrics:
+        Registry override (default: the process-wide one).
+    """
+    reg = metrics if metrics is not None else registry()
+    reg.counter("warnings.emitted", key=key).inc()
+    if _limiter.allow(key):
+        get_logger("repro." + key.split(".")[0]).warning("%s: %s", key, message)
+    else:
+        reg.counter("warnings.suppressed_logs", key=key).inc()
+    warnings.warn(message, category, stacklevel=stacklevel + 1)

@@ -1,0 +1,242 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` instance per process answers "what did
+this solve actually do?" — every telemetry island of the library
+(:class:`~repro.perf.BlockCache`, the virtual-MPI fabric, the recovery
+ladder, GMRES/CG) publishes into it instead of keeping private
+counters.  Series are identified by a metric name plus a small set of
+string labels (``fabric.faults{kind=drops, rank=2}``), mirroring the
+Prometheus data model without any of its machinery.
+
+Handles (:class:`Counter`, :class:`Gauge`, :class:`Histogram`) are
+memoized per ``(name, labels)`` and each carries its own lock, so
+hot-path increments never contend on the registry lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "set_registry",
+]
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Series:
+    """Base: one labeled series with its own lock."""
+
+    __slots__ = ("name", "labels", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+        self._lock = threading.Lock()
+
+
+class Counter(_Series):
+    """Monotonically increasing count (events, iterations, bytes)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self._value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Series):
+    """Point-in-time value (cache words, hit rate, queue depth)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Series):
+    """Streaming summary of observations (count/sum/min/max/mean).
+
+    Keeps O(1) state — no buckets, no reservoir — which is all the
+    trace renderer and the JSON export need.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def summary(self) -> dict:
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "sum": 0.0}
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count,
+            }
+
+
+class MetricsRegistry:
+    """Thread-safe home for every labeled metric series in the process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- handle factories (memoized per name+labels) ---------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            handle = self._counters.get(key)
+            if handle is None:
+                handle = self._counters[key] = Counter(name, labels)
+            return handle
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            handle = self._gauges.get(key)
+            if handle is None:
+                handle = self._gauges[key] = Gauge(name, labels)
+            return handle
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            handle = self._histograms.get(key)
+            if handle is None:
+                handle = self._histograms[key] = Histogram(name, labels)
+            return handle
+
+    # -- queries ---------------------------------------------------------
+    def value(self, name: str, **labels: str) -> int | float:
+        """Current value of a counter or gauge series (0 if absent)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            handle = self._counters.get(key) or self._gauges.get(key)
+        return handle.value if handle is not None else 0
+
+    def total(self, name: str) -> int | float:
+        """Sum of a counter's value across all label sets."""
+        with self._lock:
+            handles = [c for (n, _), c in self._counters.items() if n == name]
+        return sum(h.value for h in handles)
+
+    def counter_totals(self) -> dict[str, int | float]:
+        """``{name: sum over labels}`` for every counter — the snapshot
+        the span tracer diffs to attach counter deltas to stage spans."""
+        with self._lock:
+            handles = list(self._counters.items())
+        totals: dict[str, int | float] = {}
+        for (name, _), handle in handles:
+            totals[name] = totals.get(name, 0) + handle.value
+        return totals
+
+    def _grouped(self, handles: Iterable[tuple[tuple, _Series]], value_of):
+        out: dict[str, list[dict]] = {}
+        for (name, _), handle in sorted(handles, key=lambda kv: kv[0]):
+            entry: dict = {"value": value_of(handle)}
+            if handle.labels:
+                entry["labels"] = dict(handle.labels)
+            out.setdefault(name, []).append(entry)
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every series, grouped by metric name."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": self._grouped(counters, lambda h: h.value),
+            "gauges": self._grouped(gauges, lambda h: h.value),
+            "histograms": self._grouped(histograms, lambda h: h.summary()),
+        }
+
+    def reset(self) -> None:
+        """Drop every series (tests and fresh benchmark variants)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# -- process-wide default -------------------------------------------------
+_default_lock = threading.Lock()
+_default: MetricsRegistry | None = None
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every library component publishes to."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = MetricsRegistry()
+        return _default
+
+
+def set_registry(reg: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _default
+    if not isinstance(reg, MetricsRegistry):
+        raise TypeError("set_registry expects a MetricsRegistry")
+    with _default_lock:
+        previous = _default
+        _default = reg
+    return previous if previous is not None else reg

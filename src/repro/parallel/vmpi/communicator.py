@@ -105,7 +105,7 @@ class Communicator:
                         f"recv from {source} (tag {tag}) failed after "
                         f"{attempt} attempts: {fault}"
                     ) from fault
-                self._fabric.stats.record_fault("retries")
+                self._fabric.stats.record_fault("retries", rank=self.world_rank())
                 time.sleep(policy.delay(attempt - 1))
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:

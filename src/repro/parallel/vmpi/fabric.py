@@ -94,6 +94,10 @@ class CommStats:
     duplicates_suppressed: int = 0
     #: one dict per crash recovery performed by the supervisor.
     rank_recoveries: list[dict] = field(default_factory=list)
+    #: per-world-rank fault counters, ``{rank: {kind: count}}`` — the
+    #: rank *charged* with the fault (the receiver for transport faults,
+    #: the victim for crashes/respawns, the replayer for dedup hits).
+    by_rank_faults: dict[int, dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, src_world: int, dst_world: int, nbytes: int) -> None:
@@ -103,10 +107,48 @@ class CommStats:
             key = (src_world, dst_world)
             self.by_pair[key] = self.by_pair.get(key, 0) + nbytes
 
-    def record_fault(self, kind: str, n: int = 1) -> None:
-        """Bump one of the fault counters (kind = attribute name)."""
+    def record_fault(self, kind: str, n: int = 1, rank: int | None = None) -> None:
+        """Bump one of the fault counters (kind = attribute name).
+
+        With ``rank``, the fault is additionally attributed to that
+        world rank in :attr:`by_rank_faults`, so the supervisor can
+        publish per-rank series at join time.
+        """
         with self._lock:
             setattr(self, kind, getattr(self, kind) + n)
+            if rank is not None:
+                per = self.by_rank_faults.setdefault(rank, {})
+                per[kind] = per.get(kind, 0) + n
+
+    def publish(self, metrics=None) -> None:
+        """Mirror this launch's counters into the metrics registry.
+
+        Called by :func:`~repro.parallel.vmpi.runtime.run_spmd` at
+        supervisor join — counters accumulate across launches, labeled
+        fault series carry ``kind`` and (when attributed) ``rank``.
+        """
+        from repro.obs.metrics import registry
+
+        reg = metrics if metrics is not None else registry()
+        with self._lock:
+            reg.counter("fabric.messages").inc(self.messages)
+            reg.counter("fabric.bytes").inc(self.bytes)
+            unattributed = {
+                "drops": self.drops,
+                "corruptions": self.corruptions,
+                "delays": self.delays,
+                "retries": self.retries,
+                "crashes": self.crashes,
+                "respawns": self.respawns,
+                "duplicates_suppressed": self.duplicates_suppressed,
+            }
+            for rank, per in self.by_rank_faults.items():
+                for kind, n in per.items():
+                    reg.counter("fabric.faults", kind=kind, rank=rank).inc(n)
+                    unattributed[kind] -= n
+            for kind, n in unattributed.items():
+                if n > 0:
+                    reg.counter("fabric.faults", kind=kind, rank="?").inc(n)
 
     @property
     def faults(self) -> dict[str, int]:
@@ -181,7 +223,7 @@ class Fabric:
                 # replaying rank re-sent a message its predecessor
                 # already delivered: suppress (receivers saw it).
                 self._suppress[key] -= 1
-                self.stats.duplicates_suppressed += 1
+                self.stats.record_fault("duplicates_suppressed", rank=src_world)
                 return
             self._logs[key].append(payload)
             self._cond.notify_all()
@@ -220,17 +262,18 @@ class Fabric:
             seq = self._consumed[key]
             payload = self._logs[key][seq]
             if self.fault_plan is not None:
+                dst_w = self._key_world.get(key, (None, None))[1]
                 action = self.fault_plan.decide(key, seq, self._attempts[key])
                 if action == FaultAction.DROP:
                     self._attempts[key] += 1
-                    self.stats.drops += 1
+                    self.stats.record_fault("drops", rank=dst_w)
                     raise MessageDropped(f"dropped {key} seq {seq}")
                 if action == FaultAction.CORRUPT:
                     self._attempts[key] += 1
-                    self.stats.corruptions += 1
+                    self.stats.record_fault("corruptions", rank=dst_w)
                     raise MessageCorrupted(f"corrupted {key} seq {seq}")
                 if action == FaultAction.DELAY:
-                    self.stats.delays += 1
+                    self.stats.record_fault("delays", rank=dst_w)
                     delay = self.fault_plan.delay_seconds
             self._consumed[key] = seq + 1
             self._attempts[key] = 0
@@ -246,7 +289,7 @@ class Fabric:
         with self._cond:
             self._dead.add(world_rank)
             self._cond.notify_all()
-        self.stats.crashes += 1
+        self.stats.record_fault("crashes", rank=world_rank)
 
     def is_dead(self, world_rank: int) -> bool:
         with self._cond:
@@ -271,7 +314,7 @@ class Fabric:
                 if src_w == world_rank:
                     self._suppress[key] = len(self._logs[key])
             self._cond.notify_all()
-        self.stats.respawns += 1
+        self.stats.record_fault("respawns", rank=world_rank)
 
     def abort(self, exc: BaseException) -> None:
         """Wake all waiting ranks after a rank died (deadlock prevention)."""

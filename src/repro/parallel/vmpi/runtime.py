@@ -148,6 +148,7 @@ def run_spmd(
 
     stats = fabric.stats
     stats.rank_recoveries.extend(recoveries)
+    stats.publish()
     if errors:
         rank, exc = min(errors, key=lambda e: e[0])
         raise RuntimeError(f"virtual rank {rank} failed: {exc!r}") from exc

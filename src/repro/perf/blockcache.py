@@ -81,10 +81,17 @@ class BlockInfo:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counter snapshot of a :class:`BlockCache`."""
+    """Counter snapshot of a :class:`BlockCache`.
+
+    ``lookups`` counts cache consultations (one per :meth:`fetch` /
+    :meth:`BlockCache.get_or_compute` call and one per admitted
+    :meth:`BlockCache.offer` probe); the accounting invariant
+    ``hits + misses == lookups`` holds even under concurrent fills.
+    """
 
     hits: int
     misses: int
+    lookups: int
     evictions: int
     rejections: int
     entries: int
@@ -145,6 +152,7 @@ class BlockCache:
         self._stripes = [threading.Lock() for _ in range(n_stripes)]
         self._hits = 0
         self._misses = 0
+        self._lookups = 0
         self._evictions = 0
         self._rejections = 0
         self._peak_words = 0
@@ -183,6 +191,7 @@ class BlockCache:
     def fetch(self, key: Hashable) -> np.ndarray | None:
         """Return the cached block for ``key`` or None, counting hit/miss."""
         with self._lock:
+            self._lookups += 1
             block = self._entries.get(key)
             if block is None:
                 self._misses += 1
@@ -207,7 +216,14 @@ class BlockCache:
             with self._lock:
                 block = self._entries.get(key)
                 if block is not None:
+                    # a racing thread filled the block between our fetch
+                    # and taking the stripe lock: this call is served from
+                    # the cache, so reclassify the fetch's miss as a hit
+                    # (keeps hits + misses == lookups and stops hit_rate
+                    # skewing low exactly under concurrent fills).
                     self._entries.move_to_end(key)
+                    self._hits += 1
+                    self._misses -= 1
                     return block
             block = np.asarray(factory())
             if self.should_store(info):
@@ -232,6 +248,7 @@ class BlockCache:
             return None
         with self.key_lock(key):
             with self._lock:
+                self._lookups += 1
                 block = self._entries.get(key)
                 if block is not None:
                     self._entries.move_to_end(key)
@@ -249,13 +266,16 @@ class BlockCache:
     def _admit(self, key: Hashable, block: np.ndarray) -> bool:
         words = int(block.size)
         with self._lock:
+            if self.budget_words is not None and words > self.budget_words:
+                # reject *before* touching any existing entry for the
+                # key: a failed re-admit must not silently drop the old
+                # cached block.
+                self._rejections += 1
+                return False
             old = self._entries.pop(key, None)
             if old is not None:
                 self._words -= old.size
             if self.budget_words is not None:
-                if words > self.budget_words:
-                    self._rejections += 1
-                    return False
                 while self._words + words > self.budget_words and self._entries:
                     _, evicted = self._entries.popitem(last=False)
                     self._words -= evicted.size
@@ -311,6 +331,7 @@ class BlockCache:
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
+                lookups=self._lookups,
                 evictions=self._evictions,
                 rejections=self._rejections,
                 entries=len(self._entries),
@@ -319,9 +340,31 @@ class BlockCache:
                 budget_words=self.budget_words,
             )
 
+    def publish(self, metrics=None) -> None:
+        """Publish this cache's counters into the metrics registry.
+
+        Called automatically for the process-default cache by
+        :func:`repro.obs.telemetry_snapshot`; other caches publish
+        explicitly.  Counters are exported as gauges because a cache's
+        internal counters can be reset (:meth:`reset_stats`).
+        """
+        from repro.obs.metrics import registry
+
+        reg = metrics if metrics is not None else registry()
+        s = self.stats()
+        reg.gauge("blockcache.hits").set(s.hits)
+        reg.gauge("blockcache.misses").set(s.misses)
+        reg.gauge("blockcache.lookups").set(s.lookups)
+        reg.gauge("blockcache.evictions").set(s.evictions)
+        reg.gauge("blockcache.rejections").set(s.rejections)
+        reg.gauge("blockcache.entries").set(s.entries)
+        reg.gauge("blockcache.words").set(s.words)
+        reg.gauge("blockcache.peak_words").set(s.peak_words)
+        reg.gauge("blockcache.hit_rate").set(s.hit_rate)
+
     def reset_stats(self) -> None:
         with self._lock:
-            self._hits = self._misses = 0
+            self._hits = self._misses = self._lookups = 0
             self._evictions = self._rejections = 0
             self._peak_words = self._words
 

@@ -1,10 +1,12 @@
-"""Human-readable reports on the hierarchical structure.
+"""Human-readable and machine-readable reports.
 
 Downstream users debugging a failing compression need to *see* where
 ranks blow up.  :func:`rank_structure` renders the tree with per-node
 skeleton ranks, compression ratios, and frontier markers;
 :func:`summarize` produces the one-paragraph digest used by the CLI
-and the examples.
+and the examples; :func:`json_report` bundles the structural
+diagnostics with the process telemetry blob (span tree + metrics, see
+docs/OBSERVABILITY.md) into one JSON-serializable dict.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import numpy as np
 
 from repro.hmatrix.hmatrix import HMatrix
 
-__all__ = ["rank_structure", "summarize"]
+__all__ = ["rank_structure", "summarize", "json_report"]
 
 
 def rank_structure(h: HMatrix, *, max_depth: int | None = None) -> str:
@@ -90,3 +92,26 @@ def summarize(h: HMatrix) -> str:
         f"{sset.total_frontier_rank()}; cached storage "
         f"{h.storage_words() / 1e6:.2f} Mwords"
     )
+
+
+def json_report(solver) -> dict:
+    """Machine-readable run report for a fitted :class:`FastKernelSolver`.
+
+    Sections:
+
+    * ``summary`` — the :func:`summarize` paragraph;
+    * ``diagnostics`` — :meth:`~repro.core.solver.FastKernelSolver.diagnostics`;
+    * ``telemetry`` — the observability blob from
+      :meth:`~repro.core.solver.FastKernelSolver.telemetry`: schema
+      ``repro.telemetry/v1`` with the span tree (``spans``), every
+      metric series (``metrics``), the solver's stage accumulators
+      (``stages``), and the recovery-health digest (``health``) when
+      recovery is armed.
+
+    The result round-trips through ``json.dumps``.
+    """
+    return {
+        "summary": summarize(solver.hmatrix),
+        "diagnostics": solver.diagnostics(),
+        "telemetry": solver.telemetry(),
+    }

@@ -9,7 +9,6 @@ two-sided skeleton approximation K~ is mildly nonsymmetric.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -17,6 +16,7 @@ import numpy as np
 
 from repro.config import GMRESConfig
 from repro.exceptions import ConvergenceWarning
+from repro.obs import emit_warning, registry
 from repro.util.flops import count_flops
 
 __all__ = ["CGResult", "conjugate_gradient"]
@@ -69,7 +69,8 @@ def conjugate_gradient(
         Ap = matvec(p)
         pAp = float(p @ Ap)
         if pAp <= 0.0:
-            warnings.warn(
+            emit_warning(
+                "cg.breakdown",
                 "CG breakdown: operator is not positive definite "
                 f"(p^T A p = {pAp:.3e} at iteration {k})",
                 ConvergenceWarning,
@@ -91,10 +92,16 @@ def conjugate_gradient(
         rs = rs_new
 
     if not converged and k >= config.max_iters:
-        warnings.warn(
+        emit_warning(
+            "cg.unconverged",
             f"CG stopped after {k} iterations with relative residual "
             f"{residuals[-1]:.3e} (tol {config.tol:.1e})",
             ConvergenceWarning,
             stacklevel=2,
         )
+    reg = registry()
+    reg.counter("cg.solves").inc()
+    reg.counter("cg.iterations").inc(k)
+    if not converged:
+        reg.counter("cg.unconverged").inc()
     return CGResult(x=x, converged=converged, n_iters=k, residuals=residuals)

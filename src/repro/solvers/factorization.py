@@ -33,6 +33,7 @@ from repro.config import GMRESConfig, SolverConfig
 from repro.exceptions import NotFactorizedError, StabilityError
 from repro.hmatrix.hmatrix import HMatrix
 from repro.kernels.summation import KernelSummation, SummationMethod
+from repro.obs import span
 from repro.solvers.gmres import gmres, gmres_batched
 from repro.solvers.stability import StabilityReport, estimate_rcond, is_breakdown
 from repro.tree.node import Node
@@ -730,15 +731,20 @@ def factorize(
         by_level.setdefault(node.level, []).append(node)
     levels = sorted(by_level, reverse=True)
     for level in levels:
-        for node in by_level[level]:
-            factor_one(node)
+        with span(
+            "factorize.level",
+            attrs={"level": level, "nodes": len(by_level[level])},
+        ):
+            for node in by_level[level]:
+                factor_one(node)
         if config.storage == "low" and level + 1 in by_level:
             # the level just below is no longer needed: its P^ blocks fed
             # this level's Z and telescoping (paper section III memory
             # scheme) — keep only leaf and frontier P^ persistent.
             fact._drop_internal_phats(level + 1)
 
-    fact._build_reduced()
+    with span("factorize.reduced", attrs={"frontier": len(hmatrix.frontier)}):
+        fact._build_reduced()
     if config.storage == "low":
         for level in levels:
             fact._drop_internal_phats(level)

@@ -8,7 +8,6 @@ history (Figure 5 plots these histories).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -16,6 +15,7 @@ import numpy as np
 
 from repro.config import GMRESConfig
 from repro.exceptions import ConvergenceWarning
+from repro.obs import emit_warning, registry
 from repro.util.flops import count_flops
 
 __all__ = ["GMRESResult", "gmres", "gmres_batched"]
@@ -112,7 +112,11 @@ def gmres(
     n = len(b)
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return GMRESResult(x=np.zeros(n), converged=True, n_iters=0, residuals=[0.0])
+        result = GMRESResult(
+            x=np.zeros(n), converged=True, n_iters=0, residuals=[0.0]
+        )
+        _publish(result)
+        return result
 
     restart = config.restart or config.max_iters
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
@@ -206,7 +210,8 @@ def gmres(
             break
 
     if breakdown and not converged:
-        warnings.warn(
+        emit_warning(
+            "gmres.breakdown",
             f"GMRES breakdown: zero Hessenberg pivot after {total_iters} "
             f"iterations (relative residual {residuals[-1]:.3e}, tol "
             f"{config.tol:.1e}); the operator is singular or the Krylov "
@@ -216,19 +221,36 @@ def gmres(
             stacklevel=2,
         )
     elif not converged:
-        warnings.warn(
+        emit_warning(
+            "gmres.unconverged",
             f"GMRES stopped after {total_iters} iterations with relative "
             f"residual {residuals[-1]:.3e} (tol {config.tol:.1e})",
             ConvergenceWarning,
             stacklevel=2,
         )
-    return GMRESResult(
+    result = GMRESResult(
         x=x,
         converged=converged,
         n_iters=total_iters,
         residuals=residuals,
         breakdown=breakdown and not converged,
     )
+    _publish(result)
+    return result
+
+
+def _publish(res: GMRESResult) -> None:
+    """One solve's worth of GMRES telemetry into the metrics registry."""
+    reg = registry()
+    reg.counter("gmres.solves").inc()
+    reg.counter("gmres.iterations").inc(res.n_iters)
+    if res.breakdown:
+        reg.counter("gmres.breakdowns").inc()
+    if not res.converged:
+        reg.counter("gmres.unconverged").inc()
+    reg.histogram("gmres.iters_per_solve").observe(res.n_iters)
+    if res.residuals:
+        reg.histogram("gmres.final_residual").observe(res.final_residual)
 
 
 def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:
@@ -409,14 +431,15 @@ def gmres_batched(
             f", {down.size} of them by Hessenberg-pivot breakdown "
             f"{down.tolist()}" if down.size else ""
         )
-        warnings.warn(
+        emit_warning(
+            "gmres.batched_unconverged",
             f"batched GMRES stopped after {total} iterations with "
             f"{bad.size}/{k} unconverged columns {bad.tolist()}{extra} "
             f"(worst relative residual {worst:.3e}, tol {config.tol:.1e})",
             ConvergenceWarning,
             stacklevel=2,
         )
-    return [
+    results = [
         GMRESResult(
             x=X[:, c].copy(),
             converged=bool(converged[c]),
@@ -426,6 +449,9 @@ def gmres_batched(
         )
         for c in range(k)
     ]
+    for res in results:
+        _publish(res)
+    return results
 
 
 def _back_substitute_batched(H: np.ndarray, g: np.ndarray, j: int) -> np.ndarray:

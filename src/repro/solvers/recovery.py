@@ -87,6 +87,9 @@ class SolverHealth:
 
     def record(self, stage: str, node_id: int | None = None, **detail) -> None:
         self.events.append(RecoveryEvent(stage=stage, node_id=node_id, detail=detail))
+        from repro.obs import registry
+
+        registry().counter("recovery.events", stage=stage).inc()
 
     @property
     def degraded(self) -> bool:

@@ -12,12 +12,12 @@ recorded and reported via :class:`StabilityReport` (and a
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import StabilityError, StabilityWarning
+from repro.obs import emit_warning, registry
 from repro.util import lapack
 
 __all__ = ["StabilityReport", "estimate_rcond", "is_breakdown"]
@@ -78,6 +78,7 @@ class StabilityReport:
         self.min_rcond = min(self.min_rcond, rcond)
         if rcond <= 0.0 or (1.0 / max(rcond, np.finfo(np.float64).tiny)) > self.threshold:
             self.flagged.append((kind, node_id, rcond))
+            registry().counter("stability.flagged_blocks", kind=kind).inc()
 
     @property
     def is_stable(self) -> bool:
@@ -88,7 +89,8 @@ class StabilityReport:
         if not self.flagged:
             return
         worst = min(self.flagged, key=lambda t: t[2])
-        warnings.warn(
+        emit_warning(
+            "stability.unstable",
             f"{len(self.flagged)} ill-conditioned block(s) detected during "
             f"factorization (worst: {worst[0]} node {worst[1]}, "
             f"rcond={worst[2]:.2e}); the computed solution may be "

@@ -8,6 +8,7 @@ threads — is what makes ``configure_default_cache`` a safe memory knob.
 from __future__ import annotations
 
 import gc
+import threading
 
 import numpy as np
 import pytest
@@ -83,6 +84,19 @@ class TestBudgetAndLRU:
         assert cache.words == 30
         assert cache.stats().entries == 1
 
+    def test_failed_readmit_keeps_old_entry(self):
+        """Regression: re-admitting a key with an oversized block must
+        reject *without* dropping the block already cached for that key
+        (the rejection used to pop the old entry first)."""
+        cache = BlockCache(budget_words=50)
+        old = np.arange(20, dtype=np.float64)
+        assert cache.put(("t", 0), old)
+        assert not cache.put(("t", 0), np.zeros(60))  # over budget: reject
+        assert cache.contains(("t", 0))
+        assert cache.fetch(("t", 0)) is old
+        assert cache.words == 20
+        assert cache.stats().rejections == 1
+
 
 class TestCounters:
     def test_hit_miss_accounting(self):
@@ -104,6 +118,41 @@ class TestCounters:
         stats = cache.stats()
         assert stats.hits == stats.misses == 0
         assert stats.entries == 1 and stats.words == 4
+
+    def test_lookup_invariant_single_thread(self):
+        cache = BlockCache()
+        cache.get_or_compute(("t", 1), lambda: np.ones(4))
+        cache.get_or_compute(("t", 1), lambda: np.ones(4))
+        cache.fetch(("t", 2))  # miss
+        stats = cache.stats()
+        assert stats.lookups == 3
+        assert stats.hits + stats.misses == stats.lookups
+
+    def test_concurrent_fill_accounting_is_exact(self):
+        """8 threads racing over shared keys: hits + misses == lookups,
+        and exactly one miss per distinct key (the racing threads that
+        lose the fill race are reclassified as hits, not extra misses)."""
+        import concurrent.futures
+
+        cache = BlockCache()
+        n_keys, n_threads, per_thread = 7, 8, 40
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()  # maximize fill races
+            for i in range(per_thread):
+                key = ("t", (tid + i) % n_keys)
+                block = cache.get_or_compute(key, lambda: np.ones(8))
+                assert block.shape == (8,)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(work, range(n_threads)))
+
+        stats = cache.stats()
+        assert stats.lookups == n_threads * per_thread
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.misses == n_keys  # one true fill per key
+        assert stats.entries == n_keys
 
 
 class TestPolicy:

@@ -64,3 +64,28 @@ class TestCommands:
         code = main(["classify", "--dataset", "mri", "--n", "256"])
         assert code == 2
         assert "no labels" in capsys.readouterr().err
+
+    def test_trace_renders_span_tree(self, capsys):
+        code = main(
+            ["trace", "--dataset", "normal", "--n", "512", "--bandwidth", "4",
+             "--lam", "1", "--leaf", "64", "--smax", "32", "--neighbors", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== span tree" in out
+        for stage in ("tree", "skeletonize", "factorize", "solve"):
+            assert stage in out
+
+    def test_solve_trace_out_writes_blob(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.json"
+        code = main(
+            ["solve", "--dataset", "normal", "--n", "512", "--bandwidth", "4",
+             "--lam", "1", "--leaf", "64", "--smax", "32", "--neighbors", "0",
+             "--trace-out", str(path)]
+        )
+        assert code == 0
+        blob = json.loads(path.read_text())
+        assert blob["schema"] == "repro.telemetry/v1"
+        assert "stages" in blob and "spans" in blob and "metrics" in blob
