@@ -24,10 +24,42 @@ import time
 import numpy as np
 
 from repro import FastKernelSolver, GaussianKernel
-from repro.config import GMRESConfig, SkeletonConfig, SolverConfig, TreeConfig
+from repro.config import (
+    GMRESConfig,
+    ResilienceConfig,
+    SkeletonConfig,
+    SolverConfig,
+    TreeConfig,
+)
 from repro.datasets import DATASET_NAMES, load_dataset, paper_parameters
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    StabilityError,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_NUMERICAL",
+    "EXIT_DEADLINE",
+    "EXIT_CHECKPOINT",
+]
+
+# Distinct exit codes so shell callers (and the CI smoke jobs) can tell
+# apart "you asked wrong", "the numerics gave up", "the clock ran out",
+# and "the checkpoint is unusable" without parsing stderr.
+EXIT_OK = 0
+EXIT_ERROR = 1       # internal / unclassified ReproError
+EXIT_USAGE = 2       # bad arguments or configuration
+EXIT_NUMERICAL = 3   # StabilityError: factorization/solve not salvageable
+EXIT_DEADLINE = 4    # DeadlineExceededError with degradation disabled
+EXIT_CHECKPOINT = 5  # CheckpointError: missing/corrupt/mismatched snapshot
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--trace-out", metavar="PATH", default=None,
                          help="write the telemetry JSON blob "
                               "(repro.telemetry/v1) to PATH")
+    p_solve.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                         help="wall-clock budget for the whole pipeline; "
+                              "under pressure the solver degrades instead "
+                              "of hanging (docs/ROBUSTNESS.md)")
+    p_solve.add_argument("--work-budget", type=int, default=None,
+                         metavar="UNITS",
+                         help="deterministic work-unit budget (testing aid; "
+                              "one unit per skeletonized/factorized node)")
+    p_solve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="snapshot after skeletonization and each "
+                              "factorization level; resume with the same DIR")
+    p_solve.add_argument("--no-degrade", action="store_true",
+                         help="raise on deadline expiry instead of stepping "
+                              "down the degradation ladder (exit code 4)")
 
     p_trace = sub.add_parser(
         "trace", parents=[common],
@@ -88,6 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel ridge binary classification with (h, lambda) CV",
     )
     p_cls.add_argument("--lam", type=float, default=None)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="inspect or verify an on-disk solver checkpoint directory",
+    )
+    ckpt_sub = p_ckpt.add_subparsers(dest="ckpt_command", required=True)
+    p_inspect = ckpt_sub.add_parser(
+        "inspect", help="print the manifest: schema, fingerprint, payloads",
+    )
+    p_inspect.add_argument("dir", help="checkpoint directory")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="emit the description as JSON")
+    p_verify = ckpt_sub.add_parser(
+        "verify",
+        help="recompute payload checksums; exit 5 if any payload is corrupt",
+    )
+    p_verify.add_argument("dir", help="checkpoint directory")
 
     sub.add_parser("info", help="list datasets and their Table II parameters")
     return parser
@@ -110,12 +173,20 @@ def _cmd_solve(args) -> int:
     lam = args.lam if args.lam is not None else max(ds.lam, 1e-3)
     print(f"dataset={ds.name} N={ds.n} d={ds.d}  h={h}  lambda={lam}  "
           f"method={args.method}")
+    resilience = ResilienceConfig(
+        deadline_seconds=getattr(args, "deadline", None),
+        work_budget=getattr(args, "work_budget", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        degrade=not getattr(args, "no_degrade", False),
+    )
     solver = FastKernelSolver(
         GaussianKernel(bandwidth=h),
         tree_config=TreeConfig(leaf_size=args.leaf, seed=args.seed),
         skeleton_config=_skeleton_config(args),
         solver_config=SolverConfig(
-            method=args.method, gmres=GMRESConfig(tol=1e-9, max_iters=400)
+            method=args.method,
+            gmres=GMRESConfig(tol=1e-9, max_iters=400),
+            resilience=resilience,
         ),
     )
     t0 = time.perf_counter()
@@ -136,6 +207,12 @@ def _cmd_solve(args) -> int:
     print(f"depth {d['depth']}  mean rank {d['mean_rank']:.1f}  "
           f"reduced dim {d['reduced_size']}  "
           f"factor storage {d['factor_storage_words'] / 1e6:.1f} Mwords")
+    if solver.health is not None and solver.health.degraded:
+        hs = solver.health.summary()
+        stages = ",".join(sorted(hs.get("stages", {})))
+        print(f"degraded: final_path={hs.get('final_path')}  stages=[{stages}]")
+    if resilience.checkpoint_dir:
+        print(f"checkpoint directory: {resilience.checkpoint_dir}")
     if getattr(args, "trace", False):
         from repro.obs import render_trace
 
@@ -186,6 +263,36 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_checkpoint(args) -> int:
+    import os
+
+    from repro.resilience import Checkpoint
+
+    if not os.path.exists(os.path.join(args.dir, "MANIFEST.json")):
+        raise CheckpointError(f"no checkpoint manifest in {args.dir}")
+    cp = Checkpoint(args.dir, mode="inspect")
+    desc = cp.describe()
+    if args.ckpt_command == "inspect":
+        if getattr(args, "json", False):
+            print(json.dumps(desc, indent=2, sort_keys=True))
+        else:
+            print(f"schema      {desc['schema']}")
+            print(f"path        {desc['path']}")
+            print(f"fingerprint {desc['fingerprint']}")
+            for name, entry in desc["payloads"].items():
+                mark = "ok" if entry["intact"] else "CORRUPT"
+                print(f"  {name:<12} {entry['file']:<20} {mark}")
+        return EXIT_OK
+    broken = [n for n, e in desc["payloads"].items() if not e["intact"]]
+    if broken:
+        raise CheckpointError(
+            f"checkpoint {args.dir}: corrupt or missing payloads: "
+            + ", ".join(sorted(broken))
+        )
+    print(f"checkpoint {args.dir}: {len(desc['payloads'])} payloads intact")
+    return EXIT_OK
+
+
 def _cmd_info(_args) -> int:
     print(f"{'dataset':<10} {'d':>5} {'h':>6} {'lambda':>8} {'paper N':>10} {'paper Acc':>10}")
     for name in DATASET_NAMES:
@@ -195,15 +302,34 @@ def _cmd_info(_args) -> int:
     return 0
 
 
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "trace": _cmd_trace,
+    "classify": _cmd_classify,
+    "checkpoint": _cmd_checkpoint,
+    "info": _cmd_info,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "solve":
-        return _cmd_solve(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "classify":
-        return _cmd_classify(args)
-    return _cmd_info(args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as exc:
+        print(f"repro: usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except DeadlineExceededError as exc:
+        print(f"repro: deadline exceeded: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
+    except CheckpointError as exc:
+        print(f"repro: checkpoint error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT
+    except StabilityError as exc:
+        print(f"repro: numerical failure: {exc}", file=sys.stderr)
+        return EXIT_NUMERICAL
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ __all__ = [
     "SolverConfig",
     "GMRESConfig",
     "RecoveryConfig",
+    "ResilienceConfig",
 ]
 
 
@@ -188,6 +189,98 @@ class RecoveryConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Deadline-aware execution and checkpoint/restart (docs/ROBUSTNESS.md).
+
+    When ``deadline_seconds`` (wall-clock, monotonic) or ``work_budget``
+    (abstract units: one per node skeletonization / node factorization /
+    Krylov iteration) is set, the facade installs a
+    :class:`repro.resilience.Deadline` around ``fit``/``factorize``/
+    ``solve``.  Cooperative checks at tree-node, factorization-level,
+    and solver-iteration granularity then bound how far past the budget
+    a run can go.
+
+    With ``degrade`` on (the default), running out of budget steps down
+    a ladder instead of raising:
+
+    1. **coarsen** — skeletonization multiplies ``tau`` by
+       ``coarsen_tau_factor`` each time deadline pressure crosses a
+       threshold (first at ``coarsen_pressure``);
+    2. **freeze-frontier** — factorization stops at the last completed
+       level and the solve finishes with the hybrid GMRES path on the
+       frozen frontier;
+    3. **iterative** — preconditioned GMRES on ``lambda I + K~``.
+
+    With ``degrade`` off, budget exhaustion raises
+    :class:`~repro.exceptions.DeadlineExceededError`.
+
+    ``checkpoint_dir`` enables the versioned on-disk ``repro.checkpoint/v1``
+    format: a snapshot after skeletonization and after each completed
+    factorization level, so a killed run resumes from the last completed
+    level via :meth:`FastKernelSolver.resume`.
+
+    Attributes
+    ----------
+    deadline_seconds:
+        Wall-clock budget for the whole fit+factorize+solve pipeline
+        (``None`` = unlimited).
+    work_budget:
+        Deterministic work-unit budget (``None`` = unlimited).
+    checkpoint_dir:
+        Directory for ``repro.checkpoint/v1`` snapshots (``None`` = off).
+    degrade:
+        Step down the degradation ladder under budget pressure instead
+        of raising.
+    coarsen_pressure:
+        Fraction of the budget at which skeletonization starts
+        coarsening ``tau`` (rung 1).
+    coarsen_tau_factor:
+        Multiplier applied to ``tau`` per coarsening step.
+    freeze_frontier_cap:
+        Rung 2 refuses to freeze a frontier shallower than this level
+        (too-shallow frontiers make the reduced system as big as the
+        problem); below the cap it escalates straight to rung 3.
+    """
+
+    deadline_seconds: float | None = None
+    work_budget: int | None = None
+    checkpoint_dir: str | None = None
+    degrade: bool = True
+    coarsen_pressure: float = 0.5
+    coarsen_tau_factor: float = 10.0
+    freeze_frontier_cap: int = 1
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be > 0; got {self.deadline_seconds}"
+            )
+        if self.work_budget is not None and self.work_budget < 1:
+            raise ConfigurationError(
+                f"work_budget must be >= 1; got {self.work_budget}"
+            )
+        if not (0.0 < self.coarsen_pressure < 1.0):
+            raise ConfigurationError(
+                f"coarsen_pressure must be in (0, 1); got {self.coarsen_pressure}"
+            )
+        if self.coarsen_tau_factor <= 1.0:
+            raise ConfigurationError(
+                f"coarsen_tau_factor must be > 1; got {self.coarsen_tau_factor}"
+            )
+        if self.freeze_frontier_cap < 1:
+            raise ConfigurationError("freeze_frontier_cap must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """True when any resilience feature is switched on."""
+        return (
+            self.deadline_seconds is not None
+            or self.work_budget is not None
+            or self.checkpoint_dir is not None
+        )
+
+
+@dataclass(frozen=True)
 class SolverConfig:
     """Factorization/solve strategy selection.
 
@@ -236,6 +329,10 @@ class SolverConfig:
 
     #: numerical recovery ladder (off by default; see RecoveryConfig).
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+
+    #: deadlines, work budgets, checkpoint/restart, degradation ladder
+    #: (all off by default; see ResilienceConfig).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     _METHODS = ("nlogn", "nlog2n", "direct", "hybrid")
 

@@ -19,16 +19,30 @@ cross-validation loop the paper optimizes for — without re-running the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.config import SkeletonConfig, SolverConfig, TreeConfig
-from repro.exceptions import NotFactorizedError, NotSkeletonizedError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    NotFactorizedError,
+    NotSkeletonizedError,
+)
 from repro.hmatrix.errors import estimate_matrix_error
 from repro.hmatrix.hmatrix import HMatrix, build_hmatrix
 from repro.kernels.base import Kernel
 from repro.kernels.gsks import gsks_matvec
+from repro.resilience import (
+    Checkpoint,
+    CoarsenPolicy,
+    Deadline,
+    WorkBudget,
+    config_fingerprint,
+    deadline_scope,
+    resilient_factorize,
+)
 from repro.solvers.factorization import HierarchicalFactorization, factorize
 from repro.solvers.recovery import (
     IterativeFallback,
@@ -93,6 +107,51 @@ class FastKernelSolver:
         self.times = StageTimes()
         self._X: np.ndarray | None = None
         self._X_norms: np.ndarray | None = None
+        #: pipeline deadline (created at fit() from solver_config.resilience;
+        #: shared across fit/factorize/solve — the budget covers the whole
+        #: pipeline, not each call).
+        self._deadline: Deadline | None = None
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+    def _make_deadline(self) -> Deadline | None:
+        res = self.solver_config.resilience
+        if res.deadline_seconds is None and res.work_budget is None:
+            return None
+        budget = WorkBudget(res.work_budget) if res.work_budget is not None else None
+        return Deadline(res.deadline_seconds, budget=budget)
+
+    def _coarsen_policy(self) -> CoarsenPolicy | None:
+        res = self.solver_config.resilience
+        if self._deadline is None or not res.degrade:
+            return None
+        return CoarsenPolicy(
+            pressure=res.coarsen_pressure, tau_factor=res.coarsen_tau_factor
+        )
+
+    def _fingerprint(self) -> str:
+        return config_fingerprint(
+            self._X, self.kernel, self.tree_config, self.skeleton_config
+        )
+
+    def _open_checkpoint(self, mode: str = "write") -> Checkpoint | None:
+        res = self.solver_config.resilience
+        if res.checkpoint_dir is None:
+            return None
+        return Checkpoint(
+            res.checkpoint_dir, fingerprint=self._fingerprint(), mode=mode
+        )
+
+    def _solve_deadline(self) -> Deadline | None:
+        """Deadline to install around a solve.
+
+        An *expired* deadline is not reinstalled: degradation already
+        chose a cheap path, and soft-stopping its GMRES at iteration
+        zero would turn a degraded answer into a useless one.
+        """
+        dl = self._deadline
+        return dl if dl is not None and not dl.expired else None
 
     # ------------------------------------------------------------------
     @property
@@ -111,20 +170,43 @@ class FastKernelSolver:
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "FastKernelSolver":
-        """Build the ball tree and skeletonize (the ASKIT phase)."""
+        """Build the ball tree and skeletonize (the ASKIT phase).
+
+        With ``solver_config.resilience`` armed, the pipeline deadline
+        starts here, deadline pressure coarsens the rank tolerance
+        (degradation rung 1), and — when a checkpoint directory is
+        configured — the skeletonized state is snapshotted so a later
+        kill resumes without redoing the ASKIT phase.
+        """
         X = check_points(X)
         self._X = X
         self._X_norms = self.kernel.prepare_norms(X)
-        with Timer() as t:
+        self._deadline = self._make_deadline()
+        with Timer() as t, deadline_scope(self._deadline):
             self.hmatrix = build_hmatrix(
                 X,
                 self.kernel,
                 tree_config=self.tree_config,
                 skeleton_config=self.skeleton_config,
                 summation=self.solver_config.summation,
+                deadline=self._deadline,
+                coarsen=self._coarsen_policy(),
             )
         self.times.add("tree+skeletonize", t.elapsed)
         self.factorization = None
+        cp = self._open_checkpoint("write")
+        if cp is not None:
+            cp.save(
+                "solver",
+                {
+                    "kernel": self.kernel,
+                    "tree_config": self.tree_config,
+                    "skeleton_config": self.skeleton_config,
+                    "solver_config": self.solver_config,
+                    "X": self._X,
+                },
+            )
+            cp.save("skeletons", self.hmatrix)
         return self
 
     def factorize(self, lam: float = 0.0) -> "FastKernelSolver":
@@ -133,16 +215,47 @@ class FastKernelSolver:
         With ``solver_config.recovery.enabled``, breakdown escalates
         through the recovery ladder (docs/ROBUSTNESS.md) instead of
         degrading silently; the report lands in :attr:`health`.
+
+        With ``solver_config.resilience`` armed, node work is charged
+        against the pipeline deadline, each completed level is
+        checkpointed (and resumed, when the checkpoint directory holds
+        matching levels), and running out of budget degrades through
+        the frontier-freeze/iterative rungs instead of raising (see
+        docs/ROBUSTNESS.md sections 6-8).
         """
         self._require_fitted()
-        with self.times.time("factorize"):
-            if self.solver_config.recovery.enabled:
-                self.factorization, self.health = robust_factorize(
-                    self.hmatrix, lam, self.solver_config
-                )
-            else:
-                self.factorization = factorize(self.hmatrix, lam, self.solver_config)
-                self.health = None
+        res = self.solver_config.resilience
+        if not res.active:
+            with self.times.time("factorize"):
+                if self.solver_config.recovery.enabled:
+                    self.factorization, self.health = robust_factorize(
+                        self.hmatrix, lam, self.solver_config
+                    )
+                else:
+                    self.factorization = factorize(
+                        self.hmatrix, lam, self.solver_config
+                    )
+                    self.health = None
+            return self
+
+        if self._deadline is None:
+            self._deadline = self._make_deadline()
+        health = SolverHealth()
+        for ev in self.hmatrix.skeletons.degradation_events:
+            health.record(
+                ev.get("stage", "coarsen"),
+                **{k: v for k, v in ev.items() if k != "stage"},
+            )
+        cp = self._open_checkpoint("write")
+        with self.times.time("factorize"), deadline_scope(self._deadline):
+            self.factorization, self.health = resilient_factorize(
+                self.hmatrix,
+                lam,
+                self.solver_config,
+                health=health,
+                deadline=self._deadline,
+                checkpoint=cp,
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -161,7 +274,7 @@ class FastKernelSolver:
         """
         self._require_factorized()
         u = check_vector(u, self.n_points)
-        with self.times.time("solve"):
+        with self.times.time("solve"), deadline_scope(self._solve_deadline()):
             w = self.factorization.solve(self._to_tree(u))
         return self._from_tree(w)
 
@@ -177,7 +290,7 @@ class FastKernelSolver:
         before = len(fact.reduced_iterations)
         if self.health is not None:
             u_tree = self._to_tree(check_vector(u, self.n_points))
-            with self.times.time("solve"):
+            with self.times.time("solve"), deadline_scope(self._solve_deadline()):
                 w_tree, self.health = robust_solve(
                     fact, u_tree, self.solver_config, self.health
                 )
@@ -228,6 +341,112 @@ class FastKernelSolver:
         return gsks_matvec(self.kernel, X_new, self._X, w, norms_b=self._X_norms)
 
     # ------------------------------------------------------------------
+    # checkpoint/restart (repro.checkpoint/v1; docs/ROBUSTNESS.md §7)
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, directory: str | None = None) -> str:
+        """Snapshot the full solver state to a checkpoint directory.
+
+        Writes the ``solver`` meta payload (data, kernel, configs), the
+        skeletonized H-matrix, every completed factorization level, and
+        — when factorized — a ``state`` payload carrying the whole
+        factorization-like object, :attr:`health`, and stage times, so
+        :meth:`resume` reproduces this solver exactly (recovery/
+        degradation history included).
+
+        Returns the checkpoint directory path.
+        """
+        self._require_fitted()
+        directory = directory or self.solver_config.resilience.checkpoint_dir
+        if directory is None:
+            raise ConfigurationError(
+                "no checkpoint directory: pass one or set "
+                "solver_config.resilience.checkpoint_dir"
+            )
+        cp = Checkpoint(directory, fingerprint=self._fingerprint(), mode="write")
+        cp.save(
+            "solver",
+            {
+                "kernel": self.kernel,
+                "tree_config": self.tree_config,
+                "skeleton_config": self.skeleton_config,
+                "solver_config": self.solver_config,
+                "X": self._X,
+            },
+        )
+        cp.save("skeletons", self.hmatrix)
+        fact = self.factorization
+        if isinstance(fact, HierarchicalFactorization):
+            for lv in sorted(fact.completed_levels, reverse=True):
+                cp.save_level(
+                    lv,
+                    fact.export_level_payload(lv),
+                    lam=fact.lam,
+                    method=fact.config.method,
+                )
+        if fact is not None:
+            cp.save(
+                "state",
+                {
+                    "factorization": fact,
+                    "health": self.health,
+                    "times": self.times,
+                    "lam": fact.lam,
+                },
+            )
+        return cp.path
+
+    @classmethod
+    def resume(cls, directory: str) -> "FastKernelSolver":
+        """Rebuild a solver from a ``repro.checkpoint/v1`` directory.
+
+        Restores data, configs, and the skeletonized H-matrix; when a
+        full ``state`` snapshot exists (:meth:`save_checkpoint` after
+        factorizing) the factorization, health report, and stage times
+        come back too, and the solver solves identically to the one
+        that was saved.  Otherwise call :meth:`factorize` — it resumes
+        from the last completed checkpointed level instead of from
+        scratch.
+
+        Raises
+        ------
+        CheckpointError
+            On a missing/corrupted checkpoint, or when the manifest's
+            fingerprint does not match the payloads it indexes.
+        """
+        cp = Checkpoint(directory, mode="resume")
+        meta = cp.load("solver")
+        solver = cls(
+            meta["kernel"],
+            tree_config=meta["tree_config"],
+            skeleton_config=meta["skeleton_config"],
+            solver_config=meta["solver_config"],
+        )
+        res = solver.solver_config.resilience
+        if res.checkpoint_dir != cp.path:
+            solver.solver_config = replace(
+                solver.solver_config, resilience=replace(res, checkpoint_dir=cp.path)
+            )
+        solver._X = check_points(meta["X"])
+        solver._X_norms = solver.kernel.prepare_norms(solver._X)
+        expect = solver._fingerprint()
+        found = cp.manifest.get("fingerprint")
+        if found != expect:
+            raise CheckpointError(
+                f"checkpoint at {cp.path} fingerprint {found!r} does not "
+                "match the configuration stored in its own solver payload; "
+                "refusing to resume from inconsistent state"
+            )
+        solver.hmatrix = cp.load("skeletons")
+        if cp.has("state"):
+            state = cp.load("state")
+            solver.factorization = state["factorization"]
+            solver.health = state["health"]
+            if state.get("times") is not None:
+                solver.times = state["times"]
+        solver._deadline = solver._make_deadline()
+        return solver
+
+    # ------------------------------------------------------------------
     def approximation_error(self, n_probes: int = 8, seed: int | None = 0) -> float:
         """Randomized estimate of ``||K - K~|| / ||K||``."""
         self._require_fitted()
@@ -276,4 +495,21 @@ class FastKernelSolver:
         blob["stages"] = dict(self.times.stages)
         if self.health is not None:
             blob["health"] = self.health.summary()
+        res = self.solver_config.resilience
+        if res.active:
+            resilience: dict = {
+                "checkpoint_dir": res.checkpoint_dir,
+                "degrade": res.degrade,
+            }
+            if self._deadline is not None:
+                resilience["deadline"] = self._deadline.summary()
+            if self.hmatrix is not None:
+                resilience["coarsen_events"] = list(
+                    self.hmatrix.skeletons.degradation_events
+                )
+            if isinstance(self.factorization, HierarchicalFactorization):
+                resilience["completed_levels"] = sorted(
+                    self.factorization.completed_levels
+                )
+            blob["resilience"] = resilience
         return blob

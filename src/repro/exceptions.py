@@ -20,6 +20,9 @@ __all__ = [
     "FaultInjectionError",
     "RankCrashError",
     "RecoveryExhaustedError",
+    "DeadlineExceededError",
+    "BudgetExhaustedError",
+    "CheckpointError",
 ]
 
 
@@ -82,6 +85,34 @@ class RankCrashError(CommunicatorError):
     Raised *inside* the victim rank by the fault plan; the SPMD
     supervisor catches it and re-routes the dead rank's work instead of
     aborting the launch (see :mod:`repro.parallel.vmpi.runtime`).
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A cooperative cancellation point found the deadline expired.
+
+    Raised by :class:`repro.resilience.Deadline.check` between tree
+    nodes / factorization levels / solver iterations.  With degradation
+    enabled (the default when a deadline is configured) the facade
+    catches this and steps down the degradation ladder instead of
+    letting it escape (see docs/ROBUSTNESS.md).
+    """
+
+
+class BudgetExhaustedError(DeadlineExceededError):
+    """A :class:`repro.resilience.WorkBudget` ran out of work units.
+
+    Subclasses :class:`DeadlineExceededError` so one handler covers
+    both forms of "out of budget" — wall-clock and work-unit.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, or refused to load.
+
+    Raised on schema/config-fingerprint mismatches, payload checksum
+    failures, and truncated or missing payload files — loading never
+    silently produces a solver built from the wrong state.
     """
 
 

@@ -453,8 +453,15 @@ def build_hmatrix(
     neighbors: NeighborTable | None = None,
     summation: str | SummationMethod = SummationMethod.PRECOMPUTED,
     cache: BlockCache | None = None,
+    deadline=None,
+    coarsen=None,
 ) -> HMatrix:
-    """Convenience constructor: tree + skeletonization + HMatrix."""
+    """Convenience constructor: tree + skeletonization + HMatrix.
+
+    ``deadline``/``coarsen`` (see :mod:`repro.resilience`) bound the
+    work: with a coarsen policy, deadline pressure coarsens ``tau``
+    mid-skeletonization instead of raising.
+    """
     from repro.obs import span
 
     X = check_points(X)
@@ -462,5 +469,12 @@ def build_hmatrix(
         tree = BallTree(X, tree_config)
     with span("skeletonize", counters=True, fallback=True,
               attrs={"depth": tree.depth}):
-        sset = skeletonize(tree, kernel, skeleton_config, neighbors=neighbors)
+        sset = skeletonize(
+            tree,
+            kernel,
+            skeleton_config,
+            neighbors=neighbors,
+            deadline=deadline,
+            coarsen=coarsen,
+        )
     return HMatrix(tree, kernel, sset, summation=summation, cache=cache)

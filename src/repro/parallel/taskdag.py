@@ -33,7 +33,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import SolverConfig
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    DeadlockError,
+)
 from repro.hmatrix.hmatrix import HMatrix
 from repro.solvers.factorization import HierarchicalFactorization
 
@@ -276,6 +280,7 @@ def execute_factorization(
     config: SolverConfig | None = None,
     *,
     n_workers: int = 4,
+    timeout: float = 600.0,
 ) -> HierarchicalFactorization:
     """Run the factorization with real dependency-driven task parallelism.
 
@@ -283,8 +288,21 @@ def execute_factorization(
     to the serial :func:`repro.solvers.factorize`; node tasks execute on
     a thread pool as soon as their children finish (numpy/LAPACK release
     the GIL, so heavy nodes genuinely overlap).
+
+    ``timeout`` is the deadlock watchdog: if the DAG fails to complete
+    within it (a lost wakeup, a dependency cycle from a corrupted DAG),
+    a :class:`~repro.exceptions.DeadlockError` is raised instead of
+    silently proceeding with a half-built factorization.  An installed
+    :func:`repro.resilience.deadline_scope` deadline is propagated into
+    every worker (contextvars do not cross thread spawns on their own),
+    checked at task start, and additionally clamps the watchdog.
     """
+    from repro.resilience.deadline import current_deadline, deadline_scope
+
     config = config or SolverConfig()
+    if timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0; got {timeout}")
+    dl = current_deadline()
     if config.method == "nlog2n":
         raise ConfigurationError(
             "task-parallel execution supports the telescoping methods "
@@ -306,14 +324,17 @@ def execute_factorization(
 
     def run_task(tid: int) -> None:
         try:
-            if tid == REDUCED_TASK:
-                fact._build_reduced()
-            else:
-                node = tree.node(tid)
-                if tree.is_leaf(node):
-                    fact._factor_leaf(node)
+            with deadline_scope(dl):
+                if dl is not None:
+                    dl.check(f"taskdag.task({tid})")
+                if tid == REDUCED_TASK:
+                    fact._build_reduced()
                 else:
-                    fact._factor_internal(node)
+                    node = tree.node(tid)
+                    if tree.is_leaf(node):
+                        fact._factor_leaf(node)
+                    else:
+                        fact._factor_internal(node)
         except BaseException as exc:  # noqa: BLE001 - propagate to caller
             errors.append(exc)
             done.set()
@@ -330,15 +351,36 @@ def execute_factorization(
         if remaining == 0 and not newly_ready and tid == REDUCED_TASK:
             done.set()
 
-    with ThreadPoolExecutor(max_workers=max(1, n_workers)) as pool:
+    effective = timeout
+    if dl is not None and dl.remaining() != float("inf"):
+        # no point watching longer than the budget itself allows.
+        effective = min(timeout, dl.remaining() + 5.0)
+
+    # no `with` block: the executor's __exit__ joins worker threads, so
+    # a genuinely hung DAG would block there forever and the watchdog
+    # below could never fire.
+    ok = False
+    pool = ThreadPoolExecutor(max_workers=max(1, n_workers))
+    try:
         for tid, cnt in pending.items():
             if cnt == 0:
                 pool.submit(run_task, tid)
-        done.wait(timeout=600)
+        ok = done.wait(timeout=effective)
+    finally:
+        pool.shutdown(wait=ok, cancel_futures=not ok)
     if errors:
         raise errors[0]
-    if not done.is_set():  # pragma: no cover - watchdog
-        raise RuntimeError("task-parallel factorization did not complete")
+    if not ok:
+        if dl is not None and dl.expired:
+            raise DeadlineExceededError(
+                f"task-parallel factorization exceeded its deadline "
+                f"(watchdog after {effective:.1f}s)"
+            )
+        raise DeadlockError(
+            f"task-parallel factorization stalled: {sum(pending.values())} "
+            f"unresolved dependencies after {effective:.1f}s (lost wakeup "
+            "or cyclic DAG); refusing to proceed with a partial factorization"
+        )
 
     fact._factored = True
     fact.stability.warn_if_unstable()

@@ -77,8 +77,14 @@ def run_spmd(
         fabric's message/byte/fault counters for the whole launch, plus
         ``stats.rank_recoveries`` — one dict per crash recovery.
     """
+    from repro.resilience.deadline import current_deadline, deadline_scope
+
     if fault_plan is None:
         fault_plan = plan_from_env()
+    dl = current_deadline()  # contextvars do not cross thread spawns
+    if dl is not None and dl.seconds is not None:
+        # a hung receive should not outlive the caller's deadline
+        timeout = min(timeout, dl.remaining() + 5.0)
     fabric = Fabric(n_ranks, timeout=timeout, fault_plan=fault_plan)
     results: list[Any] = [None] * n_ranks
     errors: list[tuple[int, BaseException]] = []
@@ -90,7 +96,8 @@ def run_spmd(
         if counter is not None:
             counter.attach()
         try:
-            results[rank] = fn(comm, *args, **kwargs)
+            with deadline_scope(dl):
+                results[rank] = fn(comm, *args, **kwargs)
         except RankCrashError as exc:
             # injected crash: report to the supervisor, do NOT abort —
             # peers stay blocked until the replacement catches up.

@@ -1,0 +1,54 @@
+"""Resilient execution: deadlines, work budgets, checkpoint/restart.
+
+The paper's value proposition is a *predictable* O(N log N)
+factorization; this layer makes the reproduction predictable under
+operational pressure too:
+
+* :mod:`repro.resilience.deadline` — a monotonic-clock
+  :class:`Deadline` / :class:`WorkBudget` threaded through tree build,
+  skeletonization, per-level factorization, the iterative solvers, and
+  ``run_spmd``, with cooperative cancellation checks at tree-node /
+  level / iteration granularity;
+* :mod:`repro.resilience.checkpoint` — the versioned on-disk
+  ``repro.checkpoint/v1`` format: content checksums, config
+  fingerprints, refuse-to-load-on-mismatch, so an interrupted
+  factorization resumes from the last completed level;
+* :mod:`repro.resilience.degradation` — the deadline-pressure ladder
+  (coarsen rank tolerance → freeze the frontier and finish with the
+  hybrid GMRES path → preconditioned iterative fallback), every rung
+  recorded in :class:`repro.solvers.recovery.SolverHealth`.
+
+See docs/ROBUSTNESS.md sections 6–8 for the full guide.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpoint,
+    config_fingerprint,
+)
+from repro.resilience.deadline import (
+    CoarsenPolicy,
+    Deadline,
+    WorkBudget,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.degradation import (
+    freeze_frontier_at_level,
+    resilient_factorize,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Checkpoint",
+    "CoarsenPolicy",
+    "Deadline",
+    "WorkBudget",
+    "check_deadline",
+    "config_fingerprint",
+    "current_deadline",
+    "deadline_scope",
+    "freeze_frontier_at_level",
+    "resilient_factorize",
+]

@@ -15,7 +15,7 @@ All indices here are tree-permuted positions into ``tree.points``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -73,6 +73,9 @@ class SkeletonSet:
     #: effective restriction level actually used (min(L, depth), >= 1
     #: unless the tree is a single leaf).
     effective_level: int = 1
+    #: degradation rungs taken under deadline pressure (rung 1,
+    #: "coarsen"): dicts with stage/level/tau/pressure keys.
+    degradation_events: list[dict] = field(default_factory=list)
 
     def is_skeletonized(self, node_id: int) -> bool:
         return node_id in self.skeletons
@@ -214,6 +217,8 @@ def skeletonize(
     config: SkeletonConfig | None = None,
     *,
     neighbors: NeighborTable | None = None,
+    deadline=None,
+    coarsen=None,
 ) -> SkeletonSet:
     """Run Algorithm II.1 bottom-up over the whole tree.
 
@@ -230,12 +235,26 @@ def skeletonize(
         Optional precomputed neighbor table in *tree-permuted*
         coordinates.  When ``None`` and ``config.num_neighbors > 0``, an
         approximate table is computed here.
+    deadline:
+        Optional :class:`repro.resilience.Deadline`; defaults to the
+        one installed by :func:`repro.resilience.deadline_scope`.
+    coarsen:
+        Optional :class:`repro.resilience.CoarsenPolicy`.  When given,
+        deadline pressure *coarsens* ``tau`` at level boundaries (rung 1
+        of the degradation ladder) instead of raising — skeletonization
+        always completes, because every later rung needs skeletons to
+        exist.  Without it, an installed deadline raises
+        :class:`~repro.exceptions.DeadlineExceededError` between nodes.
 
     Returns
     -------
     SkeletonSet
     """
+    from repro.resilience.deadline import current_deadline
+
     config = config or SkeletonConfig()
+    if deadline is None:
+        deadline = current_deadline()
     sampler, neighbors = prepare_sampling(tree, config, neighbors)
 
     sset = SkeletonSet(tree=tree, config=config)
@@ -249,8 +268,34 @@ def skeletonize(
     sset.effective_level = level_stop
     norms = kernel.prepare_norms(tree.points)
 
+    eff = config
+    thresholds = list(coarsen.thresholds()) if coarsen is not None else []
+
     for level in range(tree.depth, level_stop - 1, -1):
+        if deadline is not None:
+            if coarsen is not None:
+                while thresholds and deadline.fraction_used() >= thresholds[0]:
+                    thresholds.pop(0)
+                    new_tau = min(eff.tau * coarsen.tau_factor, 0.5)
+                    if new_tau <= eff.tau:
+                        continue
+                    sset.degradation_events.append(
+                        {
+                            "stage": "coarsen",
+                            "level": level,
+                            "tau": new_tau,
+                            "pressure": round(deadline.fraction_used(), 4),
+                        }
+                    )
+                    eff = replace(eff, tau=new_tau)
+                    from repro.obs import registry
+
+                    registry().counter("resilience.degradation", rung="coarsen").inc()
+            else:
+                deadline.check(f"skeletonize.level({level})")
         for node in tree.level_nodes(level):
+            if deadline is not None and coarsen is None:
+                deadline.charge(1, f"skeletonize.node({node.id})")
             if tree.is_leaf(node):
                 candidates = np.arange(node.lo, node.hi, dtype=np.intp)
             else:
@@ -263,7 +308,7 @@ def skeletonize(
                     [sset[left.id].skeleton, sset[right.id].skeleton]
                 )
             node_skel = skeletonize_node(
-                tree, kernel, config, sampler, node, candidates, norms
+                tree, kernel, eff, sampler, node, candidates, norms
             )
             if node_skel is None:
                 # alpha~ == l~ u r~: no compression; stop here and let the

@@ -48,7 +48,10 @@ def conjugate_gradient(
     Reuses :class:`~repro.config.GMRESConfig` for the tolerance and
     iteration budget (``restart``/``reorthogonalize`` are ignored).
     """
+    from repro.resilience.deadline import current_deadline
+
     config = config or GMRESConfig()
+    dl = current_deadline()  # soft stop: expiry ends iteration, never raises
     b = np.asarray(b, dtype=np.float64)
     if b.ndim != 1:
         raise ValueError("conjugate_gradient expects a 1-D right-hand side")
@@ -66,6 +69,8 @@ def conjugate_gradient(
     k = 0
 
     while not converged and k < config.max_iters:
+        if dl is not None and dl.expired:
+            break
         Ap = matvec(p)
         pAp = float(p @ Ap)
         if pAp <= 0.0:

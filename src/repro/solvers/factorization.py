@@ -133,6 +133,9 @@ class HierarchicalFactorization:
         #: per-solve GMRES relative-residual histories (hybrid) — the
         #: convergence curves of Figure 5.
         self.reduced_histories: list[list[float]] = []
+        #: tree levels whose factors are complete (checkpoint/resume
+        #: granularity; includes restored levels).
+        self.completed_levels: set[int] = set()
         # low-storage solves temporarily re-materialize P^ blocks; the
         # lock serializes concurrent solves in that mode (full-storage
         # solves are read-only and need no coordination).
@@ -302,6 +305,86 @@ class HierarchicalFactorization:
             f"lambda-bump ladder exhausted ({rec.max_lambda_bumps} attempts) "
             f"at node {node.id}: {last}"
         ) from last
+
+    # ------------------------------------------------------------------
+    # checkpoint payloads (repro.checkpoint/v1, level granularity)
+    # ------------------------------------------------------------------
+    def export_level_payload(self, level: int) -> dict:
+        """Serializable factors of one completed tree level.
+
+        The :class:`KernelSummation` sibling blocks are *excluded* —
+        they hold cache handles and are rebuilt deterministically from
+        the H-matrix on restore (kernel evaluation is pure), which keeps
+        payloads small and decouples them from cache state.
+        """
+        tree = self.hmatrix.tree
+        leaves: dict[int, dict] = {}
+        internals: dict[int, dict] = {}
+        for nid, lf in self.leaf_factors.items():
+            if tree.node(nid).level != level:
+                continue
+            leaves[nid] = {
+                "lu": lf.lu[0],
+                "piv": lf.lu[1],
+                "phat": lf.phat,
+                "rcond": lf.rcond,
+                "anorm": self._leaf_anorms.get(nid, 0.0),
+                "lam_extra": self._lam_extra.get(nid, 0.0),
+            }
+        for nid, nf in self.node_factors.items():
+            if tree.node(nid).level != level:
+                continue
+            internals[nid] = {
+                "z_lu": nf.z_lu[0],
+                "piv": nf.z_lu[1],
+                "s_l": nf.s_l,
+                "s_r": nf.s_r,
+                "phat": nf.phat,
+                "rcond": nf.rcond,
+            }
+        events = [
+            e
+            for e in self.recovery_events
+            if tree.node(e["node_id"]).level == level
+        ]
+        return {
+            "level": level,
+            "lam": self.lam,
+            "leaves": leaves,
+            "internals": internals,
+            "recovery_events": events,
+        }
+
+    def restore_level_payload(self, payload: dict) -> None:
+        """Transplant one level's factors back (inverse of export).
+
+        Sibling ``V`` blocks are re-derived from the H-matrix; stability
+        records are replayed so reports stay faithful across a resume.
+        """
+        h = self.hmatrix
+        tree = h.tree
+        for nid, d in payload["leaves"].items():
+            self.leaf_factors[nid] = LeafFactor(
+                lu=(d["lu"], d["piv"]), phat=d["phat"], rcond=d["rcond"]
+            )
+            self._leaf_anorms[nid] = d["anorm"]
+            if d["lam_extra"]:
+                self._lam_extra[nid] = d["lam_extra"]
+            self.stability.record("leaf", nid, d["rcond"])
+        for nid, d in payload["internals"].items():
+            left, right = tree.children(tree.node(nid))
+            self.node_factors[nid] = InternalFactor(
+                z_lu=(d["z_lu"], d["piv"]),
+                s_l=d["s_l"],
+                s_r=d["s_r"],
+                vblock_l=h.sibling_block(left),
+                vblock_r=h.sibling_block(right),
+                phat=d["phat"],
+                rcond=d["rcond"],
+            )
+            self.stability.record("reduced", nid, d["rcond"])
+        self.recovery_events.extend(payload.get("recovery_events", []))
+        self.completed_levels.add(payload["level"])
 
     def _phat(self, node: Node) -> np.ndarray:
         if self.hmatrix.tree.is_leaf(node):
@@ -674,6 +757,11 @@ def factorize(
     hmatrix: HMatrix,
     lam: float = 0.0,
     config: SolverConfig | None = None,
+    *,
+    deadline=None,
+    resume_levels: dict[int, dict] | None = None,
+    on_level=None,
+    partial_sink: list | None = None,
 ) -> HierarchicalFactorization:
     """Factorize ``lambda I + K~`` (Algorithm II.2 / II.4 counterpart).
 
@@ -685,6 +773,25 @@ def factorize(
         Regularization ``lambda >= 0``.
     config:
         Method selection; see :class:`~repro.config.SolverConfig`.
+    deadline:
+        Optional :class:`repro.resilience.Deadline`; defaults to the one
+        installed by :func:`repro.resilience.deadline_scope`.  Charged
+        one work unit per node, so a
+        :class:`~repro.exceptions.DeadlineExceededError` lands between
+        nodes, never inside a BLAS call.
+    resume_levels:
+        ``{level: payload}`` from :meth:`export_level_payload` — the
+        contiguous deepest levels are transplanted instead of recomputed
+        (resume-from-checkpoint; contiguity is enforced here, so a gap
+        falls back to recomputing).
+    on_level:
+        ``on_level(level, fact)`` called after each freshly computed
+        level (the checkpoint write hook).
+    partial_sink:
+        When given, the factorization-in-progress is appended *before*
+        work starts, so a caller catching ``DeadlineExceededError`` can
+        inspect ``completed_levels`` and transplant the finished factors
+        (degradation rung 2).
 
     Returns
     -------
@@ -696,10 +803,16 @@ def factorize(
         When a diagonal block or reduced system is ill-conditioned past
         ``config.cond_threshold`` (paper section III detection).
     """
+    from repro.resilience.deadline import current_deadline
+
     config = config or SolverConfig()
     if lam < 0:
         raise ValueError(f"lambda must be >= 0; got {lam}")
+    if deadline is None:
+        deadline = current_deadline()
     fact = HierarchicalFactorization(hmatrix, lam, config)
+    if partial_sink is not None:
+        partial_sink.append(fact)
     tree = hmatrix.tree
 
     recover = config.recovery.enabled
@@ -720,6 +833,7 @@ def factorize(
 
     if tree.depth == 0:
         factor_one(tree.root)
+        fact.completed_levels.add(0)
         fact._factored = True
         fact.stability.warn_if_unstable()
         return fact
@@ -730,19 +844,34 @@ def factorize(
     for node in below:
         by_level.setdefault(node.level, []).append(node)
     levels = sorted(by_level, reverse=True)
+    # resume: transplant the contiguous deepest checkpointed levels; a
+    # gap means the shallower payloads may depend on recomputed factors,
+    # so they are discarded and recomputed.
+    restorable = True
     for level in levels:
+        if restorable and resume_levels and level in resume_levels:
+            fact.restore_level_payload(resume_levels[level])
+            continue
+        restorable = False
         with span(
             "factorize.level",
             attrs={"level": level, "nodes": len(by_level[level])},
         ):
             for node in by_level[level]:
+                if deadline is not None:
+                    deadline.charge(1, f"factorize.node({node.id})")
                 factor_one(node)
+        fact.completed_levels.add(level)
+        if on_level is not None:
+            on_level(level, fact)
         if config.storage == "low" and level + 1 in by_level:
             # the level just below is no longer needed: its P^ blocks fed
             # this level's Z and telescoping (paper section III memory
             # scheme) — keep only leaf and frontier P^ persistent.
             fact._drop_internal_phats(level + 1)
 
+    if deadline is not None:
+        deadline.check("factorize.reduced")
     with span("factorize.reduced", attrs={"frontier": len(hmatrix.frontier)}):
         fact._build_reduced()
     if config.storage == "low":

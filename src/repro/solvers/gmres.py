@@ -105,7 +105,10 @@ def gmres(
         inner step — the benchmark harness uses it to record
         residual-versus-work series.
     """
+    from repro.resilience.deadline import current_deadline
+
     config = config or GMRESConfig()
+    dl = current_deadline()  # soft stop: expiry ends iteration, never raises
     b = np.asarray(b, dtype=np.float64)
     if b.ndim != 1:
         raise ValueError("gmres expects a 1-D right-hand side")
@@ -125,8 +128,14 @@ def gmres(
     total_iters = 0
     converged = False
     breakdown = False
+    stopped = False
 
-    while total_iters < config.max_iters and not converged and not breakdown:
+    while (
+        total_iters < config.max_iters
+        and not converged
+        and not breakdown
+        and not stopped
+    ):
         r = b - matvec(x) if (x0 is not None or total_iters > 0) else b.copy()
         beta = float(np.linalg.norm(r))
         rel = beta / bnorm
@@ -147,6 +156,12 @@ def gmres(
         k = 0
         for k in range(restart):
             if total_iters >= config.max_iters:
+                break
+            if dl is not None and dl.expired:
+                # out of budget: keep the best iterate built so far —
+                # a degraded-but-finite answer beats an exception here
+                # (the caller's degradation ladder records the rung).
+                stopped = True
                 break
             w = matvec(V[k])
             w, h = _orthogonalize(w, V, config.reorthogonalize)
@@ -306,7 +321,10 @@ def gmres_batched(
     list of :class:`GMRESResult`, one per column (same fields as the
     single-vector solver, so callers can switch paths transparently).
     """
+    from repro.resilience.deadline import current_deadline
+
     config = config or GMRESConfig()
+    dl = current_deadline()  # soft stop, as in gmres()
     B = np.asarray(B, dtype=np.float64)
     if B.ndim != 2:
         raise ValueError("gmres_batched expects a 2-D block of right-hand sides")
@@ -326,7 +344,8 @@ def gmres_batched(
         residuals[c].append(0.0)
 
     total = 0
-    while total < config.max_iters and not (converged | broken).all():
+    stopped = False
+    while total < config.max_iters and not (converged | broken).all() and not stopped:
         R = B - matvec(X) if (x0 is not None or total > 0) else B.copy()
         beta = np.linalg.norm(R, axis=0)
         rel = beta / safe_bnorm
@@ -350,6 +369,9 @@ def gmres_batched(
         j = 0
         for j in range(restart):
             if total >= config.max_iters:
+                break
+            if dl is not None and dl.expired:
+                stopped = True
                 break
             W = matvec(V[j])
             # MGS against the basis, all columns at once.

@@ -227,12 +227,24 @@ def robust_factorize(
     lam: float = 0.0,
     config: SolverConfig | None = None,
     health: SolverHealth | None = None,
+    *,
+    deadline=None,
+    resume_levels: dict[int, dict] | None = None,
+    on_level=None,
+    partial_sink: list | None = None,
 ) -> tuple[HierarchicalFactorization | IterativeFallback, SolverHealth]:
     """Factorize with the recovery ladder armed (docs/ROBUSTNESS.md).
 
     Returns ``(factorization, health)``; the factorization is an
     :class:`IterativeFallback` if both factorizing rungs failed.  The
     call itself is the opt-in: ``config.recovery.enabled`` is forced on.
+
+    The keyword-only arguments are passed through to
+    :func:`~repro.solvers.factorization.factorize` for the *primary*
+    attempt (deadline charging, checkpoint resume/write hooks; see
+    :mod:`repro.resilience`).  Fallback rungs keep the deadline but not
+    the checkpoint hooks — their factors belong to a different frontier
+    and must not overwrite the primary factorization's levels.
 
     Raises
     ------
@@ -246,7 +258,15 @@ def robust_factorize(
     health = health or SolverHealth()
 
     try:
-        fact = factorize(hmatrix, lam, config)
+        fact = factorize(
+            hmatrix,
+            lam,
+            config,
+            deadline=deadline,
+            resume_levels=resume_levels,
+            on_level=on_level,
+            partial_sink=partial_sink,
+        )
         health.ingest_factorization(fact)
         health.final_path = config.method
         return fact, health
@@ -259,7 +279,7 @@ def robust_factorize(
         target = lowered if lowered is not None else hmatrix
         hybrid_config = replace(config, method="hybrid")
         try:
-            fact = factorize(target, lam, hybrid_config)
+            fact = factorize(target, lam, hybrid_config, deadline=deadline)
             health.ingest_factorization(fact)
             health.record(
                 "frontier_fallback",

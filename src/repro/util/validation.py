@@ -35,6 +35,12 @@ def check_vector(u, n: int | None = None, name: str = "u") -> np.ndarray:
     u = np.asarray(u, dtype=np.float64)
     if u.ndim not in (1, 2):
         raise ConfigurationError(f"{name} must be 1-D or 2-D; got ndim={u.ndim}")
+    if u.shape[0] == 0:
+        raise ConfigurationError(f"{name} must be non-empty; got shape {u.shape}")
+    if u.ndim == 2 and u.shape[1] == 0:
+        raise ConfigurationError(
+            f"{name} must have at least one column; got shape {u.shape}"
+        )
     if n is not None and u.shape[0] != n:
         raise ConfigurationError(
             f"{name} has leading dimension {u.shape[0]}, expected {n}"

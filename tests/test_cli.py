@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_CHECKPOINT,
+    EXIT_DEADLINE,
+    EXIT_OK,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
+
+SMALL = ["--dataset", "normal", "--n", "512", "--bandwidth", "4", "--lam", "1",
+         "--leaf", "64", "--smax", "32", "--neighbors", "0"]
 
 
 class TestParser:
@@ -89,3 +99,64 @@ class TestCommands:
         blob = json.loads(path.read_text())
         assert blob["schema"] == "repro.telemetry/v1"
         assert "stages" in blob and "spans" in blob and "metrics" in blob
+
+
+class TestExitCodes:
+    """Shell callers tell failure classes apart without parsing stderr."""
+
+    def test_usage_error_is_2(self, capsys):
+        code = main(["solve", *SMALL, "--leaf", "-5"])
+        assert code == EXIT_USAGE
+        assert "usage error" in capsys.readouterr().err
+
+    def test_deadline_with_degrade_off_is_4(self, capsys):
+        code = main(["solve", *SMALL, "--work-budget", "3", "--no-degrade"])
+        assert code == EXIT_DEADLINE
+        assert "deadline exceeded" in capsys.readouterr().err
+
+    def test_tiny_budget_degrades_to_exit_0(self, capsys):
+        code = main(["solve", *SMALL, "--work-budget", "3"])
+        assert code == EXIT_OK
+        assert "degraded" in capsys.readouterr().out
+
+    def test_missing_checkpoint_is_5(self, tmp_path, capsys):
+        code = main(["checkpoint", "verify", str(tmp_path / "nothing")])
+        assert code == EXIT_CHECKPOINT
+        assert "checkpoint error" in capsys.readouterr().err
+
+
+class TestCheckpointCommands:
+    def test_solve_writes_then_inspect_and_verify(self, tmp_path, capsys):
+        ckdir = tmp_path / "cp"
+        assert main(["solve", *SMALL, "--checkpoint-dir", str(ckdir)]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["checkpoint", "inspect", str(ckdir)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "repro.checkpoint/v1" in out and "skeletons" in out
+        assert main(["checkpoint", "verify", str(ckdir)]) == EXIT_OK
+        assert "intact" in capsys.readouterr().out
+
+    def test_inspect_json(self, tmp_path, capsys):
+        import json
+
+        ckdir = tmp_path / "cp"
+        assert main(["solve", *SMALL, "--checkpoint-dir", str(ckdir)]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["checkpoint", "inspect", str(ckdir), "--json"]) == EXIT_OK
+        desc = json.loads(capsys.readouterr().out)
+        assert desc["schema"] == "repro.checkpoint/v1"
+        assert all(e["intact"] for e in desc["payloads"].values())
+
+    def test_verify_flags_corruption(self, tmp_path, capsys):
+        ckdir = tmp_path / "cp"
+        assert main(["solve", *SMALL, "--checkpoint-dir", str(ckdir)]) == EXIT_OK
+        pkl = next(p for p in ckdir.iterdir() if p.suffix == ".pkl")
+        pkl.write_bytes(b"garbage")
+        capsys.readouterr()
+        assert main(["checkpoint", "verify", str(ckdir)]) == EXIT_CHECKPOINT
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_solve_deadline_flag_roomy(self, capsys):
+        code = main(["solve", *SMALL, "--deadline", "3600"])
+        assert code == EXIT_OK
+        assert "residual" in capsys.readouterr().out

@@ -168,3 +168,55 @@ class TestDenseAssembly:
         for f in h.frontier:
             block = assemble_dense_block(h, f)
             assert np.allclose(block, D[f.lo : f.hi, f.lo : f.hi], atol=1e-12)
+
+
+class TestDegenerateRightHandSides:
+    """Input validation must reject malformed RHS before any numerics."""
+
+    @pytest.fixture(scope="class")
+    def factored(self):
+        X = RNG.standard_normal((64, 3))
+        solver = FastKernelSolver(
+            GaussianKernel(bandwidth=1.0), tree_config=TreeConfig(leaf_size=32)
+        )
+        solver.fit(X)
+        solver.factorize(0.5)
+        return solver
+
+    def test_rejects_empty_rhs(self, factored):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            factored.solve(np.zeros((0,)))
+
+    def test_rejects_zero_column_rhs(self, factored):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="at least one column"):
+            factored.solve(np.zeros((64, 0)))
+
+    def test_rejects_nan_rhs(self, factored):
+        from repro.exceptions import ConfigurationError
+
+        u = np.ones(64)
+        u[13] = np.nan
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            factored.solve(u)
+
+    def test_rejects_inf_rhs(self, factored):
+        from repro.exceptions import ConfigurationError
+
+        u = np.ones((64, 2))
+        u[5, 1] = np.inf
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            factored.solve(u)
+
+    def test_rejects_wrong_length_rhs(self, factored):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            factored.solve(np.ones(63))
+
+    def test_multirhs_still_accepted(self, factored):
+        W = factored.solve(np.ones((64, 3)))
+        assert W.shape == (64, 3) and np.all(np.isfinite(W))
