@@ -15,11 +15,22 @@ problem:
 Emits ``BENCH_perf.json`` with wall times, block-cache hit rate, peak
 persistent storage words, and the speedup ratio per problem size.
 
+With ``--parallel`` the benchmark instead measures the vMPI *backend
+axis* (docs/PARALLELISM.md): distributed factorize + solve on the
+``thread`` backend (GIL-shared) vs the ``process`` backend (true
+multi-core over shared-memory transport), asserting the solutions are
+bitwise identical, and writes ``BENCH_parallel.json``.  The speedup is
+hardware-honest: ``cpu_count`` is recorded, and on a single-core
+container the process backend is expected to *lose* (spawn + IPC
+overhead with no cores to win back).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py                # full
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke        # CI
     PYTHONPATH=src python benchmarks/bench_perf.py --sizes 4096 --k 16
+    PYTHONPATH=src python benchmarks/bench_perf.py --parallel     # backend axis
+    PYTHONPATH=src python benchmarks/bench_perf.py --parallel --smoke
 """
 
 from __future__ import annotations
@@ -41,6 +52,10 @@ from repro.solvers import factorize
 DEFAULT_SIZES = (1024, 4096, 16384)
 DEFAULT_K = 16
 DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
+
+DEFAULT_PARALLEL_SIZES = (2048, 8192)
+DEFAULT_RANKS = 4
+PARALLEL_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_parallel.json"
 
 
 def make_problem(n: int, seed: int = 2017):
@@ -117,6 +132,101 @@ def bench_size(n: int, k: int, level_restriction: int) -> dict:
     }
 
 
+def bench_parallel_size(n: int, n_ranks: int) -> dict:
+    """Distributed factorize + solve, thread vs process backend."""
+    from repro.parallel import distributed_factorize, distributed_solve
+
+    X, kernel, gen = make_problem(n)
+    u = gen.standard_normal(n)
+    configure_default_cache()
+    h = build_hmatrix(
+        X,
+        kernel,
+        tree_config=TreeConfig(leaf_size=64, seed=0),
+        skeleton_config=SkeletonConfig(
+            tau=1e-5, max_rank=64, num_samples=192, num_neighbors=8, seed=1
+        ),
+    )
+    per_backend = {}
+    solutions = {}
+    for backend in ("thread", "process"):
+        t0 = time.perf_counter()
+        dist = distributed_factorize(h, 0.5, n_ranks, backend=backend)
+        t_factorize = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        w, stats = distributed_solve(dist, u)
+        t_solve = time.perf_counter() - t0
+        solutions[backend] = w
+        per_backend[backend] = {
+            "factorize_s": t_factorize,
+            "solve_s": t_solve,
+            "total_s": t_factorize + t_solve,
+            "comm_messages": stats.messages + dist.factor_stats.messages,
+            "comm_bytes": stats.bytes + dist.factor_stats.bytes,
+            "retries": stats.retries + dist.factor_stats.retries,
+        }
+    bitwise = bool(np.array_equal(solutions["thread"], solutions["process"]))
+    if not bitwise:
+        raise AssertionError(
+            f"backend parity violated at n={n}: thread and process "
+            "solutions differ bitwise"
+        )
+    return {
+        "n": n,
+        "n_ranks": n_ranks,
+        "thread": per_backend["thread"],
+        "process": per_backend["process"],
+        "bitwise_identical": bitwise,
+        "speedup_process_vs_thread": (
+            per_backend["thread"]["total_s"]
+            / max(per_backend["process"]["total_s"], 1e-12)
+        ),
+    }
+
+
+def run_parallel_bench(args) -> int:
+    import os
+
+    sizes, n_ranks = args.sizes, args.ranks
+    out = args.out
+    if args.smoke:
+        sizes, n_ranks = [512], 2
+        if out == PARALLEL_OUT:
+            out = PARALLEL_OUT.with_suffix(".smoke.json")
+
+    reset_telemetry()
+    runs = []
+    for n in sizes:
+        print(f"[bench_parallel] n={n} p={n_ranks} ...", flush=True)
+        run = bench_parallel_size(n, n_ranks)
+        runs.append(run)
+        print(
+            f"  thread {run['thread']['total_s']:.3f}s  "
+            f"process {run['process']['total_s']:.3f}s  "
+            f"speedup {run['speedup_process_vs_thread']:.2f}x  "
+            f"bitwise={run['bitwise_identical']}",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "vmpi_backend_axis",
+        "method": "nlogn distributed (Algorithms II.4/II.5)",
+        "kernel": "gaussian(h=1.0), 3-D standard normal points",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "speedup_process_vs_thread > 1 requires real cores; on a "
+            "single-CPU host the process backend pays spawn + IPC "
+            "overhead with no parallelism to win back"
+        ),
+        "runs": runs,
+        "telemetry": telemetry_snapshot(),
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_parallel] wrote {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
@@ -135,7 +245,23 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="tiny single-size run for CI (overrides --sizes/--k)",
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="benchmark the vMPI backend axis (thread vs process) "
+             "instead; writes BENCH_parallel.json",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=DEFAULT_RANKS,
+        help="virtual ranks for --parallel (power of two)",
+    )
     args = parser.parse_args(argv)
+
+    if args.parallel:
+        if args.out == DEFAULT_OUT:
+            args.out = PARALLEL_OUT
+        if args.sizes == list(DEFAULT_SIZES):
+            args.sizes = list(DEFAULT_PARALLEL_SIZES)
+        return run_parallel_bench(args)
 
     sizes, k, level = args.sizes, args.k, args.level_restriction
     if args.smoke:

@@ -115,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--no-degrade", action="store_true",
                          help="raise on deadline expiry instead of stepping "
                               "down the degradation ladder (exit code 4)")
+    p_solve.add_argument("--backend", default=None,
+                         choices=["thread", "process"],
+                         help="vMPI execution backend for the parallel paths "
+                              "(default: REPRO_VMPI_BACKEND or 'thread'; "
+                              "docs/PARALLELISM.md)")
+    p_solve.add_argument("--ranks", type=int, default=0, metavar="P",
+                         help="run the distributed factorize/solve "
+                              "(Algorithms II.4/II.5) over P virtual ranks "
+                              "(power of two; 0 = serial pipeline)")
 
     p_trace = sub.add_parser(
         "trace", parents=[common],
@@ -187,11 +196,15 @@ def _cmd_solve(args) -> int:
             method=args.method,
             gmres=GMRESConfig(tol=1e-9, max_iters=400),
             resilience=resilience,
+            backend=getattr(args, "backend", None),
         ),
     )
     t0 = time.perf_counter()
     solver.fit(ds.X_train)
     t_fit = time.perf_counter() - t0
+    ranks = getattr(args, "ranks", 0)
+    if ranks > 1:
+        return _solve_distributed(args, solver, ds, lam, t_fit, ranks)
     t0 = time.perf_counter()
     solver.factorize(lam)
     t_factor = time.perf_counter() - t0
@@ -223,6 +236,34 @@ def _cmd_solve(args) -> int:
         with open(trace_out, "w") as f:
             json.dump(solver.telemetry(), f, indent=2)
         print(f"telemetry blob written to {trace_out}")
+    return 0
+
+
+def _solve_distributed(args, solver, ds, lam, t_fit, ranks) -> int:
+    """``repro solve --ranks P``: the distributed pipeline (Alg. II.4/II.5)."""
+    from repro.parallel import distributed_factorize, distributed_solve
+
+    t0 = time.perf_counter()
+    dist = distributed_factorize(
+        solver.hmatrix, lam, ranks, solver.solver_config,
+        backend=getattr(args, "backend", None),
+    )
+    t_factor = time.perf_counter() - t0
+    u = np.random.default_rng(args.seed).standard_normal(ds.n)
+    u_tree = u[solver.hmatrix.tree.perm]
+    t0 = time.perf_counter()
+    w, stats = distributed_solve(dist, u_tree)
+    t_solve = time.perf_counter() - t0
+    r = lam * w + solver.hmatrix.matvec(w) - u_tree
+    residual = float(np.linalg.norm(r) / np.linalg.norm(u_tree))
+    print(f"build {t_fit:.2f}s   dist-factorize[{dist.backend},p={ranks}] "
+          f"{t_factor:.2f}s   dist-solve {t_solve:.3f}s")
+    print(f"residual {residual:.2e}   "
+          f"factor msgs {dist.factor_stats.messages} "
+          f"({dist.factor_stats.bytes / 1e3:.1f} kB)   "
+          f"solve msgs {stats.messages} ({stats.bytes / 1e3:.1f} kB)")
+    if dist.factor_stats.rank_recoveries:
+        print(f"rank recoveries: {len(dist.factor_stats.rank_recoveries)}")
     return 0
 
 

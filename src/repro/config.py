@@ -327,6 +327,12 @@ class SolverConfig:
     #: column-by-column path.
     batch_rhs: bool = True
 
+    #: vMPI execution backend for the distributed paths: "thread"
+    #: (shared-memory mailboxes, debuggable), "process" (true multi-core
+    #: via multiprocessing + shared-memory transport), or None to defer
+    #: to the REPRO_VMPI_BACKEND environment (docs/PARALLELISM.md).
+    backend: str | None = None
+
     #: numerical recovery ladder (off by default; see RecoveryConfig).
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
@@ -335,6 +341,11 @@ class SolverConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     _METHODS = ("nlogn", "nlog2n", "direct", "hybrid")
+
+    #: fields that select *how* to execute, not *what* to compute — both
+    #: backends produce bitwise-identical factors, so checkpoint
+    #: fingerprints ignore them (see resilience/checkpoint.py).
+    _FINGERPRINT_EXCLUDE = frozenset({"backend"})
 
     def __post_init__(self) -> None:
         if self.method not in self._METHODS:
@@ -350,6 +361,10 @@ class SolverConfig:
         if self.storage not in ("full", "low"):
             raise ConfigurationError(
                 f"storage must be 'full' or 'low'; got {self.storage!r}"
+            )
+        if self.backend is not None and self.backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'thread', 'process', or None; got {self.backend!r}"
             )
         if self.storage == "low" and self.method == "nlog2n":
             raise ConfigurationError(

@@ -15,7 +15,9 @@ hot-path increments never contend on the registry lock.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from typing import Iterable
 
 __all__ = [
@@ -129,6 +131,19 @@ class Histogram(_Series):
                 "mean": self.total / self.count,
             }
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's :meth:`summary` into this series
+        (exact for count/sum/min/max/mean — the O(1) state is closed
+        under merging, which is what lets per-rank registries combine)."""
+        count = int(summary.get("count", 0))
+        if count == 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += float(summary["sum"])
+            self.min = min(self.min, float(summary.get("min", self.min)))
+            self.max = max(self.max, float(summary.get("max", self.max)))
+
 
 class MetricsRegistry:
     """Thread-safe home for every labeled metric series in the process."""
@@ -138,6 +153,7 @@ class MetricsRegistry:
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
+        _instances.add(self)
 
     # -- handle factories (memoized per name+labels) ---------------------
     def counter(self, name: str, **labels: str) -> Counter:
@@ -209,6 +225,32 @@ class MetricsRegistry:
             "histograms": self._grouped(histograms, lambda h: h.summary()),
         }
 
+    def merge_snapshot(self, snap: dict, **extra_labels: str) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The process-backed SPMD launcher ships each rank's registry
+        snapshot back at join and merges it here with an extra ``rank``
+        label, so per-rank series stay distinguishable while
+        :meth:`total` still reports launch-wide sums (the thread
+        backend's single shared registry semantics).  Counters add,
+        gauges overwrite (point-in-time), histograms merge exactly.
+        """
+        for name, entries in snap.get("counters", {}).items():
+            for entry in entries:
+                labels = dict(entry.get("labels", {}))
+                labels.update(extra_labels)
+                self.counter(name, **labels).inc(entry["value"])
+        for name, entries in snap.get("gauges", {}).items():
+            for entry in entries:
+                labels = dict(entry.get("labels", {}))
+                labels.update(extra_labels)
+                self.gauge(name, **labels).set(entry["value"])
+        for name, entries in snap.get("histograms", {}).items():
+            for entry in entries:
+                labels = dict(entry.get("labels", {}))
+                labels.update(extra_labels)
+                self.histogram(name, **labels).merge_summary(entry["value"])
+
     def reset(self) -> None:
         """Drop every series (tests and fresh benchmark variants)."""
         with self._lock:
@@ -216,10 +258,35 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
 
+    def _reinit_after_fork(self) -> None:
+        """Fork-safety: fresh locks + empty per-process series.
+
+        A fork can land while another thread holds ``_lock`` (or any
+        series lock), leaving the child's copy locked forever; and the
+        inherited series would double-count once the child's snapshot
+        is merged back at join.  Children start clean.
+        """
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
 
 # -- process-wide default -------------------------------------------------
 _default_lock = threading.Lock()
 _default: MetricsRegistry | None = None
+_instances: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+def _after_fork_in_child() -> None:  # pragma: no cover - exercised via mp
+    global _default_lock
+    _default_lock = threading.Lock()
+    for reg in list(_instances):
+        reg._reinit_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 def registry() -> MetricsRegistry:

@@ -132,7 +132,22 @@ class Tracer:
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if sample_every is None:
-            sample_every = int(os.environ.get("REPRO_TRACE_TILES", "0") or 0)
+            raw = os.environ.get("REPRO_TRACE_TILES", "").strip()
+            try:
+                sample_every = int(raw) if raw else 0
+            except ValueError:
+                # a typo'd env knob must not take the tracer (and with it
+                # the whole solve) down; fall back to the documented
+                # default (0 = per-tile spans disabled).
+                from repro.obs.logadapter import emit_warning
+
+                emit_warning(
+                    "env.REPRO_TRACE_TILES",
+                    f"ignoring malformed REPRO_TRACE_TILES={raw!r} "
+                    "(not an integer); per-tile span sampling disabled",
+                    metrics=metrics,
+                )
+                sample_every = 0
         self.max_spans = max_spans
         self.sample_every = max(0, int(sample_every))
         self._metrics = metrics

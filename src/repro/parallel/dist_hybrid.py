@@ -72,6 +72,8 @@ class DistributedHybrid:
     factor_stats: CommStats
     #: fault/recovery history of the launch (chaos runs; always present).
     health: SolverHealth = field(default_factory=SolverHealth)
+    #: execution backend the factorization ran on; the solve reuses it.
+    backend: str = "thread"
 
 
 def _hybrid_factor_worker(
@@ -218,6 +220,7 @@ def distributed_hybrid_factorize(
     n_ranks: int = 2,
     config: SolverConfig | None = None,
     fault_plan: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> DistributedHybrid:
     """Distributed partial factorization up to the frontier.
 
@@ -225,8 +228,14 @@ def distributed_hybrid_factorize(
     above... strictly: the frontier must sit at or below level
     ``log2(n_ranks)`` so every frontier subtree is rank-local (the
     paper's Figure 2 layout).
+
+    ``backend`` selects the vMPI execution backend (``None`` defers to
+    ``config.backend`` and the ``REPRO_VMPI_BACKEND`` environment).
     """
+    from repro.parallel.vmpi import resolve_backend
+
     config = config or SolverConfig(method="hybrid")
+    backend = resolve_backend(backend if backend is not None else config.backend)
     if config.method != "hybrid":
         raise ConfigurationError(
             f"distributed hybrid requires method='hybrid'; got {config.method!r}"
@@ -236,8 +245,19 @@ def distributed_hybrid_factorize(
     if n_ranks > (1 << hmatrix.tree.depth):
         raise ConfigurationError("n_ranks exceeds the number of subtrees")
     states, stats = run_spmd(
-        _hybrid_factor_worker, n_ranks, hmatrix, lam, config, fault_plan=fault_plan
+        _hybrid_factor_worker,
+        n_ranks,
+        hmatrix,
+        lam,
+        config,
+        fault_plan=fault_plan,
+        backend=backend,
     )
+    if backend == "process":
+        # rebind the unpickled per-rank HMatrix copies to the caller's
+        # instance (see distributed_factorize).
+        for state in states:
+            state.local.hmatrix = hmatrix
     health = SolverHealth(final_path="distributed-hybrid")
     health.ingest_comm(stats)
     return DistributedHybrid(
@@ -248,6 +268,7 @@ def distributed_hybrid_factorize(
         states=list(states),
         factor_stats=stats,
         health=health,
+        backend=backend,
     )
 
 
@@ -255,13 +276,22 @@ def distributed_hybrid_solve(
     dist: DistributedHybrid,
     u: np.ndarray,
     fault_plan: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, CommStats]:
-    """HybridSolve (Algorithm II.6) across the virtual ranks."""
+    """HybridSolve (Algorithm II.6) across the virtual ranks.
+
+    ``backend=None`` reuses the backend the factorization ran on.
+    """
     u = np.asarray(u, dtype=np.float64)
     if u.ndim != 1:
         raise ValueError("distributed hybrid solve expects a single RHS")
     pieces, stats = run_spmd(
-        _hybrid_solve_worker, dist.n_ranks, dist, u, fault_plan=fault_plan
+        _hybrid_solve_worker,
+        dist.n_ranks,
+        dist,
+        u,
+        fault_plan=fault_plan,
+        backend=backend if backend is not None else dist.backend,
     )
     dist.health.ingest_comm(stats)
     return np.concatenate(pieces), stats

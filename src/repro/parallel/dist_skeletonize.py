@@ -133,6 +133,7 @@ def distributed_skeletonize(
     n_ranks: int = 2,
     *,
     neighbors: NeighborTable | None = None,
+    backend: str | None = None,
 ) -> tuple[SkeletonSet, CommStats]:
     """Run Algorithm II.1 over ``n_ranks`` virtual MPI ranks.
 
@@ -140,6 +141,7 @@ def distributed_skeletonize(
     one) and the fabric's communication statistics.  The neighbor table
     for sampling, if enabled, is computed once up front and replicated
     (ASKIT distributes it with its local essential tree; see DESIGN.md).
+    ``backend`` selects the vMPI execution backend (docs/PARALLELISM.md).
     """
     config = config or SkeletonConfig()
     if n_ranks < 1 or (n_ranks & (n_ranks - 1)) != 0:
@@ -154,7 +156,8 @@ def distributed_skeletonize(
         _sampler, neighbors = prepare_sampling(tree, config, None)
 
     results, stats = run_spmd(
-        _skeletonize_worker, n_ranks, tree, kernel, config, neighbors
+        _skeletonize_worker, n_ranks, tree, kernel, config, neighbors,
+        backend=backend,
     )
     merged: dict[int, NodeSkeleton] = {}
     for part in results:

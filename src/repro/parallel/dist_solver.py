@@ -90,6 +90,9 @@ class DistributedFactorization:
     factor_stats: CommStats
     #: fault/recovery history of the launch (chaos runs; always present).
     health: SolverHealth = field(default_factory=SolverHealth)
+    #: execution backend the factorization ran on; :func:`distributed_solve`
+    #: reuses it unless overridden.
+    backend: str = "thread"
 
     @property
     def n_levels(self) -> int:
@@ -325,6 +328,7 @@ def distributed_factorize(
     n_ranks: int = 2,
     config: SolverConfig | None = None,
     fault_plan: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> DistributedFactorization:
     """DistFactorize (Algorithm II.4) over ``n_ranks`` virtual ranks.
 
@@ -337,8 +341,15 @@ def distributed_factorize(
     drops/corruptions/delays are retried transparently and injected rank
     crashes are recovered by respawn-with-replay; everything observed is
     recorded in the returned factorization's ``health``.
+
+    ``backend`` selects the vMPI execution backend (``"thread"``,
+    ``"process"``, or ``None`` for ``config.backend``, which itself
+    defaults to the ``REPRO_VMPI_BACKEND`` environment).  Both produce
+    bitwise-identical factors; see docs/PARALLELISM.md.
     """
+    from repro.parallel.vmpi import resolve_backend
     config = config or SolverConfig()
+    backend = resolve_backend(backend if backend is not None else config.backend)
     if config.method not in ("nlogn", "direct"):
         raise ConfigurationError(
             "distributed factorization supports the telescoping method "
@@ -352,8 +363,21 @@ def distributed_factorize(
             f"subtrees (depth {hmatrix.tree.depth})"
         )
     states, stats = run_spmd(
-        _factor_worker, n_ranks, hmatrix, lam, config, fault_plan=fault_plan
+        _factor_worker,
+        n_ranks,
+        hmatrix,
+        lam,
+        config,
+        fault_plan=fault_plan,
+        backend=backend,
     )
+    if backend == "process":
+        # Rank states come back as unpickled copies, each dragging its
+        # own HMatrix copy.  Rebind them all to the caller's instance:
+        # one HMatrix in memory, and a later pickle of the whole
+        # DistributedFactorization memoizes it into a single envelope.
+        for state in states:
+            state.local.hmatrix = hmatrix
     health = SolverHealth(final_path="distributed")
     health.ingest_comm(stats)
     return DistributedFactorization(
@@ -364,6 +388,7 @@ def distributed_factorize(
         states=list(states),
         factor_stats=stats,
         health=health,
+        backend=backend,
     )
 
 
@@ -371,19 +396,26 @@ def distributed_solve(
     dist: DistributedFactorization,
     u: np.ndarray,
     fault_plan: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, CommStats]:
     """DistSolve (Algorithm II.5): ``w = (lambda I + K~)^{-1} u``.
 
     ``u`` is in tree order; returns ``(w, comm_stats)`` where the stats
     cover this solve's traffic only (paper: O(s log^2 p) per RHS).
     Faults observed under a ``fault_plan`` are also appended to
-    ``dist.health``.
+    ``dist.health``.  ``backend=None`` reuses the backend the
+    factorization ran on (``dist.backend``).
     """
     if not dist.states:
         raise NotFactorizedError("distributed factorization has no rank states")
     u = np.asarray(u, dtype=np.float64)
     pieces, stats = run_spmd(
-        _solve_worker, dist.n_ranks, dist, u, fault_plan=fault_plan
+        _solve_worker,
+        dist.n_ranks,
+        dist,
+        u,
+        fault_plan=fault_plan,
+        backend=backend if backend is not None else dist.backend,
     )
     dist.health.ingest_comm(stats)
     return np.concatenate(pieces, axis=0), stats

@@ -1,7 +1,11 @@
-"""Virtual MPI: a deterministic, in-process message-passing runtime.
+"""Virtual MPI: a deterministic message-passing runtime.
 
-Ranks are threads executing the same SPMD function; the fabric routes
-tagged messages between (communicator, source, dest) mailboxes.
+Ranks execute the same SPMD function on one of two backends — threads
+over a shared logged-mailbox fabric (default, debuggable) or real
+``multiprocessing`` workers with shared-memory payload transport
+(``run_spmd(..., backend="process")``, true multi-core; see
+docs/PARALLELISM.md).  The fabric routes tagged messages between
+(communicator, source, dest) mailboxes.
 Collectives (bcast/reduce/allreduce/gather/allgather/barrier) are
 implemented as binomial trees over point-to-point messages, so the
 fabric's message and byte counters reflect the O(log p) per-collective
@@ -19,7 +23,7 @@ and docs/ROBUSTNESS.md).
 from repro.parallel.vmpi.fabric import Fabric, CommStats
 from repro.parallel.vmpi.communicator import Communicator
 from repro.parallel.vmpi.faults import FaultPlan, RetryPolicy, plan_from_env
-from repro.parallel.vmpi.runtime import run_spmd
+from repro.parallel.vmpi.runtime import BACKENDS, resolve_backend, run_spmd
 
 __all__ = [
     "Fabric",
@@ -29,4 +33,6 @@ __all__ = [
     "RetryPolicy",
     "plan_from_env",
     "run_spmd",
+    "resolve_backend",
+    "BACKENDS",
 ]

@@ -100,6 +100,43 @@ class CommStats:
     by_rank_faults: dict[int, dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
+    # -- pickling: rank processes ship their stats back at join --------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold another launch-segment's counters into this one.
+
+        Used by the process backend: each rank counts the faults *it*
+        observed in a rank-local ``CommStats`` (the fabric proxy), and
+        the supervisor merges them into the router's traffic stats at
+        join so the launch total matches the thread backend's single
+        shared instance.
+        """
+        with self._lock:
+            self.messages += other.messages
+            self.bytes += other.bytes
+            for pair, nbytes in other.by_pair.items():
+                self.by_pair[pair] = self.by_pair.get(pair, 0) + nbytes
+            self.drops += other.drops
+            self.corruptions += other.corruptions
+            self.delays += other.delays
+            self.retries += other.retries
+            self.crashes += other.crashes
+            self.respawns += other.respawns
+            self.duplicates_suppressed += other.duplicates_suppressed
+            self.rank_recoveries.extend(other.rank_recoveries)
+            for rank, per in other.by_rank_faults.items():
+                mine = self.by_rank_faults.setdefault(rank, {})
+                for kind, n in per.items():
+                    mine[kind] = mine.get(kind, 0) + n
+
     def record(self, src_world: int, dst_world: int, nbytes: int) -> None:
         with self._lock:
             self.messages += 1

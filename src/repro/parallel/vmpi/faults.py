@@ -175,6 +175,67 @@ class FaultPlan:
     def crash_pending(self) -> bool:
         return self.crash_rank is not None and not self._crash_fired
 
+    def disarm_crash(self) -> None:
+        """Mark the scheduled crash as already fired.
+
+        The process backend ships each rank a *copy* of the plan, so a
+        respawned replacement would re-fire the crash its predecessor
+        already suffered; the supervisor disarms the replacement's copy
+        (the thread backend gets this for free from the shared
+        ``_crash_fired`` flag).
+        """
+        with self._lock:
+            self._crash_fired = True
+
+    # -- pickling: the process backend ships the plan to every rank ----
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+#: the largest rate ``plan_from_env`` accepts: the single uniform draw
+#: is partitioned into drop (r) + corrupt (r/2) + delay (r/4) = 1.75 r.
+_MAX_ENV_RATE = 1.0 / 1.75
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        from repro.obs.logadapter import emit_warning
+
+        emit_warning(
+            f"env.{name}",
+            f"ignoring malformed {name}={raw!r} (not a number); "
+            f"using default {default!r}",
+        )
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        from repro.obs.logadapter import emit_warning
+
+        emit_warning(
+            f"env.{name}",
+            f"ignoring malformed {name}={raw!r} (not an integer); "
+            f"using default {default!r}",
+        )
+        return default
+
 
 def plan_from_env() -> FaultPlan | None:
     """Default chaos plan from the environment (CI's chaos job).
@@ -183,14 +244,27 @@ def plan_from_env() -> FaultPlan | None:
     corruption rate ``r/2`` and delay rate ``r/4`` (seed from
     ``REPRO_FAULT_SEED``, default 0).  Returns ``None`` when unset so
     production launches pay nothing.
+
+    Malformed values (``"0.05x"``) and out-of-range rates are not worth
+    crashing a solve over: they fall back to the documented defaults
+    (no faults; seed 0; rates clamped so the partitioned probabilities
+    stay in [0, 1]) with one rate-limited warning via
+    :func:`repro.obs.logadapter.emit_warning`.
     """
-    raw = os.environ.get(ENV_RATE, "").strip()
-    if not raw:
-        return None
-    rate = float(raw)
+    rate = _env_float(ENV_RATE, 0.0)
     if rate <= 0.0:
         return None
-    seed = int(os.environ.get(ENV_SEED, "0") or 0)
+    if rate > _MAX_ENV_RATE:
+        from repro.obs.logadapter import emit_warning
+
+        emit_warning(
+            f"env.{ENV_RATE}",
+            f"{ENV_RATE}={rate!r} exceeds the maximum partitionable rate "
+            f"{_MAX_ENV_RATE:.4f} (drop + corrupt + delay = 1.75r must "
+            "stay <= 1); clamping",
+        )
+        rate = _MAX_ENV_RATE
+    seed = _env_int(ENV_SEED, 0)
     return FaultPlan(
         seed=seed,
         drop_rate=rate,

@@ -1,0 +1,580 @@
+"""Process-backed SPMD execution: ranks as ``multiprocessing`` workers.
+
+The thread backend (:mod:`repro.parallel.vmpi.runtime`) is the
+debuggable default, but Python threads share the GIL, so the paper's
+*parallel* factorization never uses more than one core there.  This
+module runs each virtual rank as a real OS process (spawn-safe) while
+preserving the thread fabric's semantics exactly — same message
+ordering, same seeded fault classification, same logging/replay crash
+recovery — so the two backends produce bitwise-identical factors and
+solutions (the backend-parity suite asserts this, chaos included).
+
+Topology::
+
+    rank process --post--> [router_in mp.Queue] --> router thread
+                                                     (supervisor)
+    router thread --("msg", key, env)--> [per-rank inbox mp.Queue]
+
+* **Router** (a supervisor-side thread) owns the *message log*: every
+  post is appended to its key's log before being forwarded to the
+  destination rank's inbox, and sender-side dedup (``suppress``) lives
+  here too — the exact pessimistic message-logging protocol of
+  :class:`~repro.parallel.vmpi.fabric.Fabric`, with the mailbox
+  condition variable replaced by queues.
+* **Rank proxy** (:class:`ProcessRankFabric`) implements the fabric
+  interface (``post`` / ``wait`` / ``retry_policy`` / ``fault_plan`` /
+  ``stats``) inside each rank process, so the unmodified
+  :class:`~repro.parallel.vmpi.communicator.Communicator` runs over it.
+  Receive cursors, attempt counters, and fault classification are
+  receiver-local — ``FaultPlan.decide(key, seq, attempt)`` is a pure
+  hash, so cross-process classification is identical to the shared-plan
+  thread backend.
+* **Payloads** travel as shared-memory envelopes
+  (:mod:`repro.parallel.vmpi.shm`): pickle-5 metadata through the
+  queue, large buffers (point coordinates, ``P^`` factors) through
+  ``multiprocessing.shared_memory`` segments.  The SPMD program and its
+  arguments are packed *once*; every rank attaches the same segments,
+  so ``p`` ranks share one copy of the tree's point coordinates.
+
+**Crash recovery.**  A rank that suffers an injected
+:class:`~repro.exceptions.RankCrashError` flushes its queue feeder
+(so every post it made is in the router's pipe), reports ``crashed``,
+and exits.  The supervisor then pushes a **sync sentinel** through
+``router_in`` — queue delivery is pipe-FIFO, so once the router has
+seen the sentinel it has logged every message the victim sent — arms
+sender dedup, swaps in a fresh inbox, **redelivers** the victim's
+logged receive history into it, and spawns a replacement with a
+crash-disarmed copy of the plan.  A process that dies without
+reporting (hard kill) is treated the same way: a dead process can have
+no posts still in flight behind the sentinel.  Per-rank telemetry
+(fabric fault counters, metrics snapshots, flop totals) rides back on
+the status queue and is merged at join.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+from collections import defaultdict, deque
+
+from repro.exceptions import ConfigurationError, DeadlockError
+from repro.parallel.vmpi import shm
+from repro.parallel.vmpi.communicator import Communicator
+from repro.parallel.vmpi.fabric import CommStats, payload_bytes
+from repro.parallel.vmpi.faults import (
+    FaultAction,
+    FaultPlan,
+    MessageCorrupted,
+    MessageDropped,
+    RetryPolicy,
+)
+
+__all__ = ["ProcessRankFabric", "run_spmd_processes"]
+
+_sync_tokens = itertools.count(1)
+
+#: grace period between noticing a silently-dead process and declaring
+#: it crashed (its final status message may still be in the pipe).
+_DEATH_GRACE = 1.0
+
+#: how long ranks get to notice an abort before being terminated.
+_ABORT_GRACE = 15.0
+
+
+class ProcessRankFabric:
+    """Rank-process side of the fabric: queue transport + local cursors.
+
+    Implements the interface :class:`Communicator` needs.  All mutable
+    state is rank-local (one instance per rank process, used by one
+    thread), which is what makes respawn recovery work with no cursor
+    rewind: a replacement process starts with zeroed cursors and the
+    router redelivers its full receive history.
+    """
+
+    def __init__(
+        self,
+        world_rank: int,
+        router_in,
+        inbox,
+        timeout: float,
+        fault_plan: FaultPlan | None,
+    ) -> None:
+        self.fault_plan = fault_plan
+        self.timeout = timeout
+        self.stats = CommStats()
+        self._rank = world_rank
+        self._router_in = router_in
+        self._inbox = inbox
+        self._pending: dict[tuple, deque] = defaultdict(deque)
+        self._consumed: dict[tuple, int] = defaultdict(int)
+        self._attempts: dict[tuple, int] = defaultdict(int)
+        self._aborted = None
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        if self.fault_plan is not None:
+            return self.fault_plan.retry
+        return RetryPolicy()
+
+    def post(
+        self,
+        comm_key: str,
+        src: int,
+        dst: int,
+        tag: int,
+        payload,
+        *,
+        src_world: int,
+        dst_world: int,
+    ) -> None:
+        env = shm.pack(payload)
+        self._router_in.put(
+            (
+                "post",
+                comm_key,
+                src,
+                dst,
+                tag,
+                src_world,
+                dst_world,
+                env,
+                payload_bytes(payload),
+            )
+        )
+
+    def wait(self, comm_key: str, src: int, dst: int, tag: int):
+        """One delivery attempt — the mirror of ``Fabric.wait``.
+
+        Drains the inbox (filing messages per key) until the requested
+        key has a pending message, then classifies the attempt with the
+        same ``(key, seq, attempt)`` hash the thread fabric uses.
+        """
+        key = (comm_key, src, dst, tag)
+        pending = self._pending[key]
+        deadline = time.monotonic() + self.timeout
+        while not pending:
+            if self._aborted is not None:
+                raise DeadlockError(f"peer rank failed: {self._aborted}")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"recv timed out after {self.timeout}s waiting for "
+                    f"(comm={comm_key!r}, src={src}, dst={dst}, tag={tag})"
+                )
+            try:
+                item = self._inbox.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if item[0] == "abort":
+                self._aborted = item[1]
+                continue
+            _, mkey, env = item
+            self._pending[mkey].append(env)
+        seq = self._consumed[key]
+        delay = 0.0
+        if self.fault_plan is not None:
+            action = self.fault_plan.decide(key, seq, self._attempts[key])
+            if action == FaultAction.DROP:
+                self._attempts[key] += 1
+                self.stats.record_fault("drops", rank=self._rank)
+                raise MessageDropped(f"dropped {key} seq {seq}")
+            if action == FaultAction.CORRUPT:
+                self._attempts[key] += 1
+                self.stats.record_fault("corruptions", rank=self._rank)
+                raise MessageCorrupted(f"corrupted {key} seq {seq}")
+            if action == FaultAction.DELAY:
+                self.stats.record_fault("delays", rank=self._rank)
+                delay = self.fault_plan.delay_seconds
+        env = pending.popleft()
+        self._consumed[key] = seq + 1
+        self._attempts[key] = 0
+        if delay > 0.0:
+            time.sleep(delay)
+        # no unlink: the router's log owns the segments (replay may
+        # re-deliver them); the supervisor frees everything at join.
+        return shm.unpack(env)
+
+
+class _Router:
+    """Supervisor-side message log + forwarding thread."""
+
+    def __init__(self, n_ranks: int, ctx) -> None:
+        self.n_ranks = n_ranks
+        self.stats = CommStats()
+        self.logs: dict[tuple, list] = defaultdict(list)
+        self.key_world: dict[tuple, tuple[int, int]] = {}
+        self.suppress: dict[tuple, int] = defaultdict(int)
+        self.inboxes = [ctx.Queue() for _ in range(n_ranks)]
+        self.sync_events: dict[int, threading.Event] = {}
+        self._ctx = ctx
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    def start(self, router_in) -> None:
+        self._thread = threading.Thread(
+            target=self._run, args=(router_in,), name="vmpi-router", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self, router_in) -> None:
+        while True:
+            item = router_in.get()
+            kind = item[0]
+            if kind == "stop":
+                return
+            if kind == "sync":
+                ev = self.sync_events.pop(item[1], None)
+                if ev is not None:
+                    ev.set()
+                continue
+            _, comm_key, src, dst, tag, sw, dw, env, nbytes = item
+            key = (comm_key, src, dst, tag)
+            with self._lock:
+                self.key_world.setdefault(key, (sw, dw))
+                if self.suppress[key] > 0:
+                    # replaying rank re-sent a message its predecessor
+                    # already delivered: receivers saw it, so drop the
+                    # duplicate (and its fresh segments).
+                    self.suppress[key] -= 1
+                    self.stats.record_fault("duplicates_suppressed", rank=sw)
+                    shm.free(env)
+                    continue
+                self.logs[key].append(env)
+                self.stats.record(sw, dw, nbytes)
+                if 0 <= dw < self.n_ranks:
+                    self.inboxes[dw].put(("msg", key, env))
+
+    def sync(self, router_in, timeout: float = 10.0) -> None:
+        """Barrier: returns once the router has processed every item
+        enqueued before this call (single pipe => FIFO)."""
+        token = next(_sync_tokens)
+        ev = threading.Event()
+        self.sync_events[token] = ev
+        router_in.put(("sync", token))
+        ev.wait(timeout)
+
+    def respawn(self, world_rank: int):
+        """Arm replay for a respawned rank; returns its fresh inbox.
+
+        Under the router lock so forwarding of new posts to the victim
+        cannot interleave with the redelivery of its logged history
+        (per-key FIFO must survive the swap).
+        """
+        new_inbox = self._ctx.Queue()
+        with self._lock:
+            old = self.inboxes[world_rank]
+            self.inboxes[world_rank] = new_inbox
+            for key, (sw, dw) in self.key_world.items():
+                if sw == world_rank:
+                    self.suppress[key] = len(self.logs[key])
+            for key, (sw, dw) in self.key_world.items():
+                if dw == world_rank:
+                    for env in self.logs[key]:
+                        new_inbox.put(("msg", key, env))
+            self.stats.record_fault("respawns", rank=world_rank)
+        # the dead rank never drains its old inbox; don't let its feeder
+        # block supervisor exit.
+        old.cancel_join_thread()
+        old.close()
+        return new_inbox
+
+    def stop(self, router_in, timeout: float = 10.0) -> None:
+        router_in.put(("stop",))
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def free_envelopes(self) -> None:
+        with self._lock:
+            for envs in self.logs.values():
+                for env in envs:
+                    shm.free(env)
+            self.logs.clear()
+
+
+def _worker_main(
+    world_rank: int,
+    n_ranks: int,
+    prog_env: dict,
+    inbox,
+    router_in,
+    done_q,
+    timeout: float,
+    fault_plan: FaultPlan | None,
+    disarm_crash: bool,
+    deadline_s: float | None,
+) -> None:
+    """Rank-process entry point (module-level: spawn must pickle it)."""
+    from repro.exceptions import RankCrashError
+    from repro.obs.metrics import registry
+    from repro.resilience.deadline import Deadline, deadline_scope
+    from repro.util.flops import FlopCounter
+
+    if fault_plan is not None and disarm_crash:
+        fault_plan.disarm_crash()
+    fabric = ProcessRankFabric(world_rank, router_in, inbox, timeout, fault_plan)
+    counter = FlopCounter()
+    status, err, result_env = "ok", None, None
+    try:
+        fn, args, kwargs = shm.unpack(prog_env)
+        comm = Communicator(fabric, "world", world_rank, list(range(n_ranks)))
+        dl = Deadline(deadline_s) if deadline_s is not None else None
+        counter.attach()
+        try:
+            with deadline_scope(dl):
+                result = fn(comm, *args, **kwargs)
+        finally:
+            counter.detach()
+        result_env = shm.pack(result)
+    except RankCrashError as exc:
+        status, err = "crashed", repr(exc)
+    except BaseException as exc:  # noqa: BLE001 - reported to supervisor
+        status, err = "failed", repr(exc)
+    telemetry = {
+        "stats": fabric.stats,
+        "metrics": registry().snapshot(),
+        "flops": {
+            "flops": counter.flops,
+            "mops": counter.mops,
+            "kernel_evals": counter.kernel_evals,
+            "by_label": dict(counter.by_label),
+        },
+    }
+    # Flush our posts into the router pipe *before* reporting: the
+    # supervisor's sync sentinel (same pipe) is then ordered after every
+    # message we sent, which is what makes replay arming race-free.
+    router_in.close()
+    router_in.join_thread()
+    done_q.put((world_rank, status, err, result_env, telemetry))
+
+
+def _resolve_start_method(start_method: str | None) -> str:
+    if start_method is None:
+        raw = os.environ.get("REPRO_MP_START", "").strip()
+        if not raw:
+            return "spawn"
+        if raw not in mp.get_all_start_methods():
+            from repro.obs.logadapter import emit_warning
+
+            emit_warning(
+                "env.REPRO_MP_START",
+                f"ignoring unknown REPRO_MP_START={raw!r}; using 'spawn'",
+            )
+            return "spawn"
+        return raw
+    if start_method not in mp.get_all_start_methods():
+        raise ConfigurationError(
+            f"unknown multiprocessing start method {start_method!r}; "
+            f"available: {mp.get_all_start_methods()}"
+        )
+    return start_method
+
+
+def run_spmd_processes(
+    fn,
+    n_ranks: int,
+    *args,
+    timeout: float = 120.0,
+    fault_plan: FaultPlan | None = None,
+    max_respawns: int = 2,
+    start_method: str | None = None,
+    **kwargs,
+):
+    """Process-backend twin of :func:`repro.parallel.vmpi.run_spmd`.
+
+    Same contract: returns ``(results, stats)``, raises
+    ``RuntimeError("virtual rank r failed: ...")`` on rank failure,
+    recovers injected rank crashes by respawn-with-replay.  ``fn`` must
+    be picklable (a module-level function — spawn cannot ship closures).
+    """
+    from repro.obs.metrics import registry
+    from repro.resilience.deadline import current_deadline
+    from repro.util.flops import current_counter
+
+    ctx = mp.get_context(_resolve_start_method(start_method))
+    dl = current_deadline()
+    deadline_s = None
+    if dl is not None and dl.seconds is not None:
+        deadline_s = dl.remaining()
+        timeout = min(timeout, deadline_s + 5.0)
+
+    try:
+        prog_env = shm.pack((fn, args, kwargs))
+    except Exception as exc:
+        raise ConfigurationError(
+            "the process backend must pickle the SPMD function and its "
+            "arguments for spawned ranks; use a module-level function "
+            f"(closures/lambdas cannot cross processes): {exc!r}"
+        ) from exc
+
+    router_in = ctx.Queue()
+    done_q = ctx.Queue()
+    router = _Router(n_ranks, ctx)
+    router.start(router_in)
+
+    procs: list = [None] * n_ranks
+    finished = [False] * n_ranks
+    results: list = [None] * n_ranks
+    errors: list[tuple[int, str]] = []
+    respawn_counts = [0] * n_ranks
+    recoveries: list[dict] = []
+    telemetries: list[tuple[int, dict]] = []
+    suspect_since: dict[int, float] = {}
+    abort_deadline: float | None = None
+
+    def spawn(rank: int, generation: int) -> None:
+        name = (
+            f"vmpi-rank-{rank}"
+            if generation == 0
+            else f"vmpi-rank-{rank}-adopted-by-{rank ^ 1}-gen{generation}"
+        )
+        p = ctx.Process(
+            target=_worker_main,
+            args=(
+                rank,
+                n_ranks,
+                prog_env,
+                router.inboxes[rank],
+                router_in,
+                done_q,
+                timeout,
+                fault_plan,
+                generation > 0,
+                deadline_s,
+            ),
+            name=name,
+            daemon=True,
+        )
+        p.start()
+        procs[rank] = p
+
+    def broadcast_abort(err: str) -> None:
+        nonlocal abort_deadline
+        for r in range(n_ranks):
+            if not finished[r]:
+                try:
+                    router.inboxes[r].put(("abort", err))
+                except Exception:  # pragma: no cover - teardown race
+                    pass
+        if abort_deadline is None:
+            abort_deadline = time.monotonic() + _ABORT_GRACE
+
+    def handle_crash(rank: int, err: str) -> bool:
+        """Respawn if budget allows; returns True when the rank is
+        finished (budget exhausted -> fatal)."""
+        router.stats.record_fault("crashes", rank=rank)
+        if respawn_counts[rank] < max_respawns:
+            respawn_counts[rank] += 1
+            sibling = rank ^ 1 if n_ranks > 1 else rank
+            recoveries.append(
+                {
+                    "stage": "rank_respawn",
+                    "rank": rank,
+                    "adopted_by": sibling,
+                    "generation": respawn_counts[rank],
+                    "error": err,
+                }
+            )
+            # barrier: every post the victim flushed before reporting is
+            # in the router log once the sentinel returns.
+            router.sync(router_in)
+            router.respawn(rank)
+            spawn(rank, respawn_counts[rank])
+            return False
+        errors.append((rank, err))
+        broadcast_abort(err)
+        return True
+
+    try:
+        for r in range(n_ranks):
+            spawn(r, 0)
+
+        n_finished = 0
+        while n_finished < n_ranks:
+            try:
+                msg = done_q.get(timeout=0.2)
+            except queue.Empty:
+                now = time.monotonic()
+                for r in range(n_ranks):
+                    p = procs[r]
+                    if finished[r] or p is None or p.exitcode is None:
+                        continue
+                    # the process is gone; its status may still be in
+                    # the pipe (normal exits flush it), so give it a
+                    # grace window before declaring a hard death.
+                    first = suspect_since.setdefault(r, now)
+                    if now - first < _DEATH_GRACE:
+                        continue
+                    suspect_since.pop(r, None)
+                    err = f"rank process died (exitcode {p.exitcode})"
+                    if handle_crash(r, err):
+                        finished[r] = True
+                        n_finished += 1
+                if abort_deadline is not None and now > abort_deadline:
+                    # ranks that never noticed the abort (stuck in
+                    # compute): stop waiting.
+                    for r in range(n_ranks):
+                        if not finished[r]:
+                            if procs[r] is not None and procs[r].is_alive():
+                                procs[r].terminate()
+                            finished[r] = True
+                            n_finished += 1
+                continue
+            rank, status, err, result_env, telemetry = msg
+            if finished[rank]:  # pragma: no cover - late duplicate status
+                continue
+            suspect_since.pop(rank, None)
+            telemetries.append((rank, telemetry))
+            if status == "crashed":
+                if not handle_crash(rank, err):
+                    continue
+            elif status == "failed":
+                errors.append((rank, err))
+                broadcast_abort(err)
+            else:
+                results[rank] = shm.unpack(result_env, unlink=True)
+            finished[rank] = True
+            n_finished += 1
+    finally:
+        router.stop(router_in)
+        # drain any unread statuses so their result envelopes are freed.
+        while True:
+            try:
+                _r, _s, _e, env, _t = done_q.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                break
+            if env is not None:
+                shm.free(env)
+        router.free_envelopes()
+        shm.free(prog_env)
+        for p in procs:
+            if p is not None and p.is_alive():
+                p.terminate()
+
+    stats = router.stats
+    for _rank, telemetry in telemetries:
+        stats.merge(telemetry["stats"])
+    stats.rank_recoveries.extend(recoveries)
+    stats.publish()
+
+    reg = registry()
+    counter = current_counter()
+    for rank, telemetry in telemetries:
+        reg.merge_snapshot(telemetry["metrics"], rank=str(rank))
+        if counter is not None:
+            f = telemetry["flops"]
+            labeled = 0
+            for label, n in f["by_label"].items():
+                counter.add_flops(n, label)
+                labeled += n
+            counter.add_flops(f["flops"] - labeled)
+            counter.add_mops(f["mops"])
+            counter.add_kernel_evals(f["kernel_evals"])
+
+    if errors:
+        rank, err = min(errors, key=lambda e: e[0])
+        raise RuntimeError(f"virtual rank {rank} failed: {err}")
+    return results, stats

@@ -1,10 +1,25 @@
-"""SPMD launcher: run the same function on p virtual ranks (threads).
+"""SPMD launcher: run the same function on p virtual ranks.
 
 ``run_spmd(fn, p)`` is the moral equivalent of ``mpiexec -n p``.  Each
-rank thread gets a :class:`Communicator` for the world group; the
-caller gets every rank's return value plus the fabric's traffic
-statistics.  A rank that raises aborts the whole launch (waking any
-rank blocked in ``recv``) and re-raises in the caller.
+rank gets a :class:`Communicator` for the world group; the caller gets
+every rank's return value plus the fabric's traffic statistics.  A
+rank that raises aborts the whole launch (waking any rank blocked in
+``recv``) and re-raises in the caller.
+
+Two backends share this entry point (docs/PARALLELISM.md):
+
+* ``backend="thread"`` (default) — ranks are threads over the shared
+  logged-mailbox :class:`~repro.parallel.vmpi.fabric.Fabric`.
+  Zero-copy, single-process, fully debuggable; but the GIL serializes
+  everything that is not inside BLAS.
+* ``backend="process"`` — ranks are ``multiprocessing`` workers over a
+  queue-routed fabric with shared-memory payload transport
+  (:mod:`repro.parallel.vmpi.process`): true multi-core execution with
+  bitwise-identical results.  Requires ``fn`` and its arguments to be
+  picklable.
+
+``backend=None`` resolves from the ``REPRO_VMPI_BACKEND`` environment
+variable, defaulting to ``thread``.
 
 **Fault tolerance.**  With a :class:`~repro.parallel.vmpi.faults.FaultPlan`
 (passed explicitly or installed from the ``REPRO_FAULT_RATE``
@@ -30,17 +45,53 @@ Recovery events are recorded in ``stats.rank_recoveries`` so
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 from typing import Any, Callable
 
-from repro.exceptions import RankCrashError
+from repro.exceptions import ConfigurationError, RankCrashError
 from repro.parallel.vmpi.communicator import Communicator
 from repro.parallel.vmpi.fabric import CommStats, Fabric
 from repro.parallel.vmpi.faults import FaultPlan, plan_from_env
 from repro.util.flops import current_counter
 
-__all__ = ["run_spmd"]
+__all__ = ["run_spmd", "resolve_backend", "BACKENDS"]
+
+#: execution backends for :func:`run_spmd`.
+BACKENDS = ("thread", "process")
+
+#: environment override for the default backend.
+ENV_BACKEND = "REPRO_VMPI_BACKEND"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve the execution backend.
+
+    Explicit ``backend`` wins (an unknown value is a
+    :class:`~repro.exceptions.ConfigurationError`); ``None`` consults
+    ``REPRO_VMPI_BACKEND`` — where an unknown value only warns (an env
+    typo must not take a solve down) and falls back to ``thread``.
+    """
+    if backend is None:
+        raw = os.environ.get(ENV_BACKEND, "").strip()
+        if not raw:
+            return "thread"
+        if raw not in BACKENDS:
+            from repro.obs.logadapter import emit_warning
+
+            emit_warning(
+                f"env.{ENV_BACKEND}",
+                f"ignoring unknown {ENV_BACKEND}={raw!r} "
+                f"(expected one of {BACKENDS}); using 'thread'",
+            )
+            return "thread"
+        return raw
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}; got {backend!r}"
+        )
+    return backend
 
 
 def run_spmd(
@@ -50,6 +101,7 @@ def run_spmd(
     timeout: float = 120.0,
     fault_plan: FaultPlan | None = None,
     max_respawns: int = 2,
+    backend: str | None = None,
     **kwargs,
 ) -> tuple[list[Any], CommStats]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` virtual ranks.
@@ -60,7 +112,7 @@ def run_spmd(
         SPMD function; its first argument is the world
         :class:`Communicator`.
     n_ranks:
-        Number of virtual ranks (threads).
+        Number of virtual ranks.
     timeout:
         Per-receive deadlock timeout in seconds.
     fault_plan:
@@ -69,6 +121,11 @@ def run_spmd(
         fault-free if that is unset too.
     max_respawns:
         Per-rank budget of crash recoveries before the launch aborts.
+    backend:
+        ``"thread"`` (default), ``"process"``, or ``None`` to consult
+        ``REPRO_VMPI_BACKEND``.  Both backends produce bitwise-identical
+        results; the process backend additionally requires ``fn`` and
+        its arguments to be picklable (module-level functions).
 
     Returns
     -------
@@ -81,6 +138,18 @@ def run_spmd(
 
     if fault_plan is None:
         fault_plan = plan_from_env()
+    if resolve_backend(backend) == "process":
+        from repro.parallel.vmpi.process import run_spmd_processes
+
+        return run_spmd_processes(
+            fn,
+            n_ranks,
+            *args,
+            timeout=timeout,
+            fault_plan=fault_plan,
+            max_respawns=max_respawns,
+            **kwargs,
+        )
     dl = current_deadline()  # contextvars do not cross thread spawns
     if dl is not None and dl.seconds is not None:
         # a hung receive should not outlive the caller's deadline

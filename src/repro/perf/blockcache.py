@@ -28,7 +28,9 @@ owner is garbage collected.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable
@@ -156,6 +158,44 @@ class BlockCache:
         self._evictions = 0
         self._rejections = 0
         self._peak_words = 0
+        _instances.add(self)
+
+    # -- spawn/fork safety ------------------------------------------------
+    def __getstate__(self):
+        """Spawn-safety: a cache travels as *configuration*, not contents.
+
+        Locks are not picklable, cached blocks are pure recomputable
+        data, and per-process stats must start at zero in a child — so
+        pickling a cache ships only ``budget_words`` / striping /
+        machine spec; the receiver starts empty.
+        """
+        return {
+            "budget_words": self.budget_words,
+            "machine": self.machine,
+            "n_stripes": len(self._stripes),
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["budget_words"],
+            n_stripes=state["n_stripes"],
+            machine=state["machine"],
+        )
+
+    def _reinit_after_fork(self) -> None:
+        """Fork-safety: fresh locks + zeroed per-process stats.
+
+        A fork can land while another thread holds ``_lock`` or a
+        stripe lock (the child's copy would stay locked forever), and
+        inherited hit/miss counters would double-count once a child's
+        telemetry is merged at join.  Entries are kept: they are valid
+        copy-on-write data the child can keep serving.
+        """
+        self._lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in self._stripes]
+        self._hits = self._misses = self._lookups = 0
+        self._evictions = self._rejections = 0
+        self._peak_words = self._words
 
     # -- striping --------------------------------------------------------
     def key_lock(self, key: Hashable) -> threading.Lock:
@@ -379,6 +419,18 @@ class BlockCache:
 # -- process-wide default ------------------------------------------------
 _default_lock = threading.Lock()
 _default: BlockCache | None = None
+_instances: "weakref.WeakSet[BlockCache]" = weakref.WeakSet()
+
+
+def _after_fork_in_child() -> None:  # pragma: no cover - exercised via mp
+    global _default_lock
+    _default_lock = threading.Lock()
+    for cache in list(_instances):
+        cache._reinit_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 def default_cache() -> BlockCache:

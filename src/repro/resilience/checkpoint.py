@@ -64,11 +64,15 @@ def _canonical(obj) -> object:
     if isinstance(obj, float):
         return repr(obj)
     if hasattr(obj, "__dataclass_fields__"):
+        # execution-only knobs (e.g. SolverConfig.backend) do not change
+        # the math, so checkpoints stay interchangeable across them.
+        skip = getattr(obj, "_FINGERPRINT_EXCLUDE", ())
         return {
             "__type__": type(obj).__name__,
             **{
                 k: _canonical(getattr(obj, k))
                 for k in sorted(obj.__dataclass_fields__)
+                if k not in skip
             },
         }
     # kernels and other simple objects: type name + public attributes

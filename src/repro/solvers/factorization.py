@@ -386,6 +386,75 @@ class HierarchicalFactorization:
         self.recovery_events.extend(payload.get("recovery_events", []))
         self.completed_levels.add(payload["level"])
 
+    def export_node_payload(self, node_id: int) -> dict:
+        """Serializable factors of one node (task-DAG granularity).
+
+        Same shape as one entry of :meth:`export_level_payload`: the
+        :class:`KernelSummation` sibling blocks are excluded and
+        re-derived on restore (kernel evaluation is pure), so the
+        payload is a handful of dense arrays that travel cheaply
+        between the task-parallel executor's worker processes.
+        """
+        if node_id in self.leaf_factors:
+            lf = self.leaf_factors[node_id]
+            return {
+                "kind": "leaf",
+                "node_id": node_id,
+                "lu": lf.lu[0],
+                "piv": lf.lu[1],
+                "phat": lf.phat,
+                "rcond": lf.rcond,
+                "anorm": self._leaf_anorms.get(node_id, 0.0),
+                "lam_extra": self._lam_extra.get(node_id, 0.0),
+            }
+        nf = self.node_factors[node_id]
+        return {
+            "kind": "internal",
+            "node_id": node_id,
+            "z_lu": nf.z_lu[0],
+            "piv": nf.z_lu[1],
+            "s_l": nf.s_l,
+            "s_r": nf.s_r,
+            "phat": nf.phat,
+            "rcond": nf.rcond,
+        }
+
+    def restore_node_payload(self, payload: dict) -> None:
+        """Transplant one node's factors back (inverse of export).
+
+        Idempotent: a node already present is left untouched (a DAG
+        worker that factored a child locally skips the shipped copy
+        without double-recording its stability entry).
+        """
+        h = self.hmatrix
+        nid = payload["node_id"]
+        if payload["kind"] == "leaf":
+            if nid in self.leaf_factors:
+                return
+            self.leaf_factors[nid] = LeafFactor(
+                lu=(payload["lu"], payload["piv"]),
+                phat=payload["phat"],
+                rcond=payload["rcond"],
+            )
+            self._leaf_anorms[nid] = payload["anorm"]
+            if payload["lam_extra"]:
+                self._lam_extra[nid] = payload["lam_extra"]
+            self.stability.record("leaf", nid, payload["rcond"])
+            return
+        if nid in self.node_factors:
+            return
+        left, right = h.tree.children(h.tree.node(nid))
+        self.node_factors[nid] = InternalFactor(
+            z_lu=(payload["z_lu"], payload["piv"]),
+            s_l=payload["s_l"],
+            s_r=payload["s_r"],
+            vblock_l=h.sibling_block(left),
+            vblock_r=h.sibling_block(right),
+            phat=payload["phat"],
+            rcond=payload["rcond"],
+        )
+        self.stability.record("reduced", nid, payload["rcond"])
+
     def _phat(self, node: Node) -> np.ndarray:
         if self.hmatrix.tree.is_leaf(node):
             phat = self.leaf_factors[node.id].phat

@@ -84,7 +84,13 @@ class BallTree:
         self.perm = perm
         self.iperm = np.empty_like(perm)
         self.iperm[perm] = np.arange(self.n_points, dtype=np.intp)
-        self.points = np.ascontiguousarray(X[perm])
+        # check_points coerced X to float64 above; pin the dtype here too
+        # so a future caller bypassing validation cannot leak float32
+        # into the kernel/skeleton paths (skeleton/id.py forces float64,
+        # and config_fingerprint hashes a float64 copy — mixed precision
+        # would silently diverge from both).
+        self.points = np.ascontiguousarray(X[perm], dtype=np.float64)
+        assert self.points.dtype == np.float64, self.points.dtype
 
     # ------------------------------------------------------------------
     def node(self, node_id: int) -> Node:

@@ -16,8 +16,15 @@ __all__ = [
 
 
 def check_points(X, name: str = "X") -> np.ndarray:
-    """Validate an (N, d) float64 point matrix, converting if needed."""
-    X = np.asarray(X, dtype=np.float64)
+    """Validate an (N, d) float64 point matrix, converting if needed.
+
+    Coerces dtype *and* memory layout exactly once at the library
+    boundary: every downstream consumer (ball tree, kernels, the
+    checkpoint ``config_fingerprint`` which hashes these bytes) then
+    sees the same float64 C-contiguous array regardless of what the
+    caller passed (float32, Fortran order, lists).
+    """
+    X = np.ascontiguousarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ConfigurationError(f"{name} must be 2-D (N, d); got shape {X.shape}")
     if X.shape[0] == 0 or X.shape[1] == 0:

@@ -1,0 +1,404 @@
+"""Process-backed vMPI: backend parity, spawn safety, env-knob bugfixes.
+
+The tentpole invariant: ``run_spmd(..., backend="process")`` — real
+``multiprocessing`` workers over shared-memory transport — produces
+*bitwise-identical* results to the thread backend, including under
+chaos (the seeded FaultPlan hash is pure, so both backends see the same
+fault schedule) and across a rank crash + respawn.
+
+All SPMD functions here are module-level: the process backend pickles
+the program for spawn, so closures are rejected (covered below too).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.exceptions import ConfigurationError
+from repro.hmatrix import build_hmatrix
+from repro.kernels import GaussianKernel
+from repro.parallel.dist_solver import distributed_factorize, distributed_solve
+from repro.parallel.vmpi import (
+    BACKENDS,
+    CommStats,
+    FaultPlan,
+    resolve_backend,
+    run_spmd,
+)
+from repro.parallel.vmpi import shm
+
+RNG = np.random.default_rng(42)
+
+
+# ----------------------------------------------------------------------
+# module-level SPMD programs (spawn-picklable)
+# ----------------------------------------------------------------------
+
+def ring_prog(comm, base):
+    """Point-to-point ring + collective; payloads above the shm threshold."""
+    x = np.full(3000, float(comm.rank) + base)  # 24 kB > DEFAULT_THRESHOLD
+    comm.send(x, (comm.rank + 1) % comm.size, tag=1)
+    y = comm.recv((comm.rank - 1) % comm.size, tag=1)
+    return comm.allreduce(float(y.sum()))
+
+
+def cache_publish_prog(comm):
+    """Publish to the default BlockCache inside a worker process."""
+    from repro.perf import default_cache
+
+    cache = default_cache()
+    key = ("test", "spawn", comm.rank)
+    cache.put(key, np.ones((64, 64)))
+    hit = cache.fetch(key)
+    stats = cache.stats()
+    return {
+        "got_back": hit is not None,
+        "hits": stats.hits,
+        "lookups": stats.lookups,
+    }
+
+
+def metrics_prog(comm):
+    """Increment a counter in the child; shipped back and merged."""
+    from repro.obs.metrics import registry
+
+    registry().counter("test.child_work").inc(comm.rank + 1)
+    return comm.rank
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X = RNG.standard_normal((512, 3))
+    h = build_hmatrix(
+        X,
+        GaussianKernel(bandwidth=1.5),
+        tree_config=TreeConfig(leaf_size=32, seed=1),
+        skeleton_config=SkeletonConfig(
+            tau=1e-8, max_rank=48, num_samples=192, num_neighbors=8, seed=2
+        ),
+    )
+    u = RNG.standard_normal(512)
+    return h, u
+
+
+# ----------------------------------------------------------------------
+# tentpole: thread/process parity
+# ----------------------------------------------------------------------
+
+class TestBackendParity:
+    def test_spmd_results_and_stats_match(self):
+        rt, st = run_spmd(ring_prog, 2, 5.0, backend="thread")
+        rp, sp = run_spmd(ring_prog, 2, 5.0, backend="process")
+        assert rt == rp
+        assert (st.messages, st.bytes) == (sp.messages, sp.bytes)
+
+    def test_distributed_solve_bitwise_identical(self, problem):
+        h, u = problem
+        dt = distributed_factorize(h, 0.7, n_ranks=2)
+        wt, _ = distributed_solve(dt, u)
+        dp = distributed_factorize(h, 0.7, n_ranks=2, backend="process")
+        wp, _ = distributed_solve(dp, u)
+        assert dp.backend == "process"
+        assert np.array_equal(wt, wp)
+
+    def test_process_states_share_callers_hmatrix(self, problem):
+        h, u = problem
+        dp = distributed_factorize(h, 0.7, n_ranks=2, backend="process")
+        assert all(s.local.hmatrix is h for s in dp.states)
+
+    def test_factor_payloads_bitwise_identical(self, problem):
+        h, _ = problem
+        dt = distributed_factorize(h, 0.7, n_ranks=2)
+        dp = distributed_factorize(h, 0.7, n_ranks=2, backend="process")
+        for st, sp in zip(dt.states, dp.states):
+            for nid, lf in st.local.leaf_factors.items():
+                assert np.array_equal(lf.lu[0], sp.local.leaf_factors[nid].lu[0])
+                assert np.array_equal(lf.phat, sp.local.leaf_factors[nid].phat)
+
+    def test_parity_under_chaos(self, problem):
+        h, u = problem
+        plan = lambda: FaultPlan(  # noqa: E731 - two identical plans
+            seed=9, drop_rate=0.05, corrupt_rate=0.025, delay_rate=0.0125
+        )
+        dt = distributed_factorize(h, 0.7, n_ranks=2, fault_plan=plan())
+        wt, _ = distributed_solve(dt, u)
+        dp = distributed_factorize(
+            h, 0.7, n_ranks=2, fault_plan=plan(), backend="process"
+        )
+        wp, _ = distributed_solve(dp, u)
+        assert np.array_equal(wt, wp)
+        assert dp.factor_stats.drops == dt.factor_stats.drops
+        assert dp.factor_stats.retries == dt.factor_stats.retries
+
+    def test_rank_crash_respawn(self, problem):
+        h, u = problem
+        dt = distributed_factorize(h, 0.7, n_ranks=2)
+        wt, _ = distributed_solve(dt, u)
+        dp = distributed_factorize(
+            h,
+            0.7,
+            n_ranks=2,
+            fault_plan=FaultPlan(seed=5, crash_rank=1, crash_op=4),
+            backend="process",
+        )
+        wp, _ = distributed_solve(dp, u)
+        assert np.array_equal(wt, wp)
+        assert dp.factor_stats.crashes == 1
+        assert dp.factor_stats.respawns == 1
+        assert dp.factor_stats.rank_recoveries[0]["rank"] == 1
+
+    def test_env_backend_selects_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VMPI_BACKEND", "process")
+        res, _ = run_spmd(ring_prog, 2, 1.0)
+        rt, _ = run_spmd(ring_prog, 2, 1.0, backend="thread")
+        assert res == rt
+
+
+class TestTaskDagProcessBackend:
+    def test_bitwise_identical_to_thread(self, problem):
+        from repro.parallel.taskdag import execute_factorization
+
+        h, u = problem
+        ft = execute_factorization(h, 0.7, n_workers=2)
+        fp = execute_factorization(h, 0.7, n_workers=2, backend="process")
+        assert np.array_equal(ft.solve(u), fp.solve(u))
+        assert fp.stability.min_rcond == ft.stability.min_rcond
+
+    def test_recovery_rejected_on_process_backend(self, problem):
+        from repro.config import RecoveryConfig
+        from repro.parallel.taskdag import execute_factorization
+
+        h, _ = problem
+        cfg = SolverConfig(recovery=RecoveryConfig(enabled=True))
+        with pytest.raises(ConfigurationError, match="recovery"):
+            execute_factorization(h, 0.7, cfg, backend="process")
+
+
+# ----------------------------------------------------------------------
+# backend resolution and pickling rules
+# ----------------------------------------------------------------------
+
+class TestBackendResolution:
+    def test_explicit_values(self):
+        assert resolve_backend("thread") == "thread"
+        assert resolve_backend("process") == "process"
+        assert set(BACKENDS) == {"thread", "process"}
+
+    def test_explicit_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            resolve_backend("mpi")
+
+    def test_env_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VMPI_BACKEND", raising=False)
+        assert resolve_backend() == "thread"
+        monkeypatch.setenv("REPRO_VMPI_BACKEND", "process")
+        assert resolve_backend() == "process"
+
+    def test_env_typo_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VMPI_BACKEND", "proces")
+        assert resolve_backend() == "thread"
+
+    def test_config_backend_validation(self):
+        assert SolverConfig(backend="process").backend == "process"
+        with pytest.raises(ConfigurationError, match="backend"):
+            SolverConfig(backend="mpi")
+
+    def test_closures_rejected_with_guidance(self):
+        captured = 3.0
+
+        def closure_prog(comm):
+            return captured
+
+        with pytest.raises(ConfigurationError, match="module-level"):
+            run_spmd(closure_prog, 2, backend="process")
+
+    def test_run_spmd_error_message_parity(self):
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            run_spmd(failing_prog, 2, backend="process")
+
+
+def failing_prog(comm):
+    raise ValueError(f"boom from rank {comm.rank}")
+
+
+# ----------------------------------------------------------------------
+# satellite: spawn/fork safety of process-wide singletons
+# ----------------------------------------------------------------------
+
+class TestSpawnSafety:
+    def test_blockcache_publish_after_spawn(self):
+        results, _ = run_spmd(cache_publish_prog, 2, backend="process")
+        for r in results:
+            assert r["got_back"]
+            # child stats start from zero: exactly this worker's traffic.
+            assert r["lookups"] == 1 and r["hits"] == 1
+
+    def test_blockcache_pickles_as_configuration(self):
+        from repro.perf.blockcache import BlockCache
+
+        cache = BlockCache(budget_words=1234)
+        cache.put(("k", 1), np.ones((8, 8)))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.budget_words == cache.budget_words
+        assert clone.fetch(("k", 1)) is None  # entries do not cross
+        assert clone.stats().lookups == 1  # fresh stats (the miss above)
+
+    def test_metrics_merge_from_children(self):
+        from repro.obs.metrics import registry
+
+        before = registry().total("test.child_work")
+        run_spmd(metrics_prog, 2, backend="process")
+        # ranks 0 and 1 incremented by 1 and 2 respectively.
+        assert registry().total("test.child_work") == before + 3.0
+
+    def test_commstats_pickle_roundtrip(self):
+        st = CommStats()
+        st.record(0, 1, 100)
+        st.record_fault("drops", rank=1)
+        clone = pickle.loads(pickle.dumps(st))
+        assert clone.messages == 1 and clone.bytes == 100
+        assert clone.drops == 1
+        clone.record(1, 0, 50)  # lock was recreated
+        assert clone.messages == 2
+
+    def test_faultplan_pickle_preserves_decisions(self):
+        plan = FaultPlan(seed=13, drop_rate=0.3, corrupt_rate=0.1)
+        clone = pickle.loads(pickle.dumps(plan))
+        key = ("world", 0, 1, 7)
+        assert [plan.decide(key, s, 0) for s in range(64)] == [
+            clone.decide(key, s, 0) for s in range(64)
+        ]
+
+    def test_faultplan_disarm_crash(self):
+        plan = FaultPlan(seed=1, crash_rank=0, crash_op=0)
+        plan.disarm_crash()
+        plan.on_op(0)  # would raise RankCrashError if still armed
+
+
+# ----------------------------------------------------------------------
+# shared-memory envelopes
+# ----------------------------------------------------------------------
+
+class TestShmEnvelopes:
+    def test_roundtrip_large_and_small(self):
+        obj = {
+            "big": np.arange(10000, dtype=np.float64),
+            "small": np.arange(4, dtype=np.float64),
+            "meta": ("x", 3),
+        }
+        env = shm.pack(obj)
+        kinds = [slot[0] for slot in env["slots"]]
+        assert "shm" in kinds and "inline" in kinds
+        out = shm.unpack(env, unlink=True)
+        assert np.array_equal(out["big"], obj["big"])
+        assert np.array_equal(out["small"], obj["small"])
+        assert out["meta"] == obj["meta"]
+
+    def test_free_is_idempotent(self):
+        env = shm.pack(np.ones(5000))
+        assert shm.segment_names(env)
+        shm.free(env)
+        shm.free(env)  # second free is a no-op
+
+    def test_unpacked_object_survives_unlink(self):
+        env = shm.pack(np.arange(8192, dtype=np.float64))
+        out = shm.unpack(env, unlink=True)
+        # no live dependency on the (now unlinked) segment: data is intact
+        # and usable after the name is gone.
+        assert out[0] == 0.0 and out[-1] == 8191.0
+        assert (out + 1.0)[0] == 1.0
+
+    def test_threshold_keeps_small_payloads_inline(self):
+        env = shm.pack(np.ones(4))
+        assert shm.segment_names(env) == []
+
+
+# ----------------------------------------------------------------------
+# satellite: dtype coercion at the validation boundary
+# ----------------------------------------------------------------------
+
+class TestFloat32Regression:
+    def test_balltree_coerces_float32(self):
+        from repro.tree import BallTree
+
+        X32 = RNG.standard_normal((128, 3)).astype(np.float32)
+        tree = BallTree(X32, TreeConfig(leaf_size=16, seed=0))
+        assert tree.points.dtype == np.float64
+
+    def test_float32_and_float64_same_fingerprint(self):
+        from repro.resilience import config_fingerprint
+
+        X = RNG.standard_normal((64, 3))
+        k = GaussianKernel(bandwidth=1.0)
+        assert config_fingerprint(X.astype(np.float32).astype(np.float64), k) == \
+            config_fingerprint(X.astype(np.float32), k)
+
+    def test_backend_excluded_from_fingerprint(self):
+        from repro.resilience import config_fingerprint
+
+        X = RNG.standard_normal((32, 2))
+        k = GaussianKernel(bandwidth=1.0)
+        fp_t = config_fingerprint(X, k, SolverConfig(backend="thread"))
+        fp_p = config_fingerprint(X, k, SolverConfig(backend="process"))
+        assert fp_t == fp_p
+
+    def test_float32_pipeline_end_to_end(self):
+        from repro import FastKernelSolver
+
+        X32 = RNG.standard_normal((256, 3)).astype(np.float32)
+        solver = FastKernelSolver(
+            GaussianKernel(bandwidth=1.5),
+            tree_config=TreeConfig(leaf_size=32, seed=0),
+            skeleton_config=SkeletonConfig(rank=16, seed=0),
+        )
+        solver.fit(X32).factorize(1.0)
+        w = solver.solve(np.ones(256))
+        assert w.dtype == np.float64 and np.all(np.isfinite(w))
+
+
+# ----------------------------------------------------------------------
+# satellite: malformed environment knobs must not crash
+# ----------------------------------------------------------------------
+
+class TestMalformedEnvKnobs:
+    def test_malformed_fault_rate_falls_back(self, monkeypatch):
+        from repro.parallel.vmpi.faults import plan_from_env
+
+        monkeypatch.setenv("REPRO_FAULT_RATE", "not-a-float")
+        assert plan_from_env() is None  # default rate 0 -> no plan
+
+    def test_malformed_fault_seed_falls_back(self, monkeypatch):
+        from repro.parallel.vmpi.faults import plan_from_env
+
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.05")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "3.5")
+        plan = plan_from_env()  # falls back to the default seed
+        assert plan is not None and plan.drop_rate == pytest.approx(0.05)
+
+    def test_out_of_range_fault_rate_clamped(self, monkeypatch):
+        from repro.parallel.vmpi.faults import _MAX_ENV_RATE, plan_from_env
+
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.9")
+        plan = plan_from_env()
+        assert plan is not None
+        assert plan.drop_rate == pytest.approx(_MAX_ENV_RATE)
+
+    def test_malformed_trace_tiles_disables_sampling(self, monkeypatch):
+        from repro.obs.trace import Tracer
+
+        monkeypatch.setenv("REPRO_TRACE_TILES", "every-third")
+        tracer = Tracer()  # must not raise
+        with tracer.span("check"):
+            pass
+
+    def test_malformed_knobs_emit_warnings_not_crashes(self, monkeypatch):
+        from repro.obs.metrics import registry
+        from repro.parallel.vmpi.faults import plan_from_env
+
+        before = registry().total("warnings.emitted")
+        monkeypatch.setenv("REPRO_FAULT_RATE", "banana")
+        plan_from_env()
+        assert registry().total("warnings.emitted") >= before
