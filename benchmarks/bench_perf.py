@@ -24,6 +24,12 @@ hardware-honest: ``cpu_count`` is recorded, and on a single-core
 container the process backend is expected to *lose* (spawn + IPC
 overhead with no cores to win back).
 
+With ``--level-batch-compare`` it instead measures the *level-batching
+axis* (docs/PERFORMANCE.md): factorization wall time of the nlogn direct
+method with ``SolverConfig.level_batch`` on vs off over the same
+skeletonized H-matrix, asserting the solutions are bitwise identical,
+and writes ``BENCH_levelbatch.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py                # full
@@ -31,6 +37,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_perf.py --sizes 4096 --k 16
     PYTHONPATH=src python benchmarks/bench_perf.py --parallel     # backend axis
     PYTHONPATH=src python benchmarks/bench_perf.py --parallel --smoke
+    PYTHONPATH=src python benchmarks/bench_perf.py --level-batch-compare
 """
 
 from __future__ import annotations
@@ -56,6 +63,11 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
 DEFAULT_PARALLEL_SIZES = (2048, 8192)
 DEFAULT_RANKS = 4
 PARALLEL_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_parallel.json"
+
+DEFAULT_LEVELBATCH_SIZES = (4096,)
+LEVELBATCH_OUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_levelbatch.json"
+)
 
 
 def make_problem(n: int, seed: int = 2017):
@@ -184,6 +196,108 @@ def bench_parallel_size(n: int, n_ranks: int) -> dict:
     }
 
 
+def bench_levelbatch_size(n: int, repeats: int = 7) -> dict:
+    """Factorize wall time, level-batched vs per-node, same H-matrix.
+
+    Tree/skeleton construction is excluded from the timing (both paths
+    share one skeletonized H-matrix and a warm block cache), so the
+    ratio isolates the factorization loops the batching restructures.
+    A fixed skeleton rank keeps the level shape groups uniform — the
+    paper's regime, where every node of a level does the same-shaped
+    work — and the small leaf size puts the tree in the many-small-nodes
+    regime the batching targets: hundreds of sub-50 LU/GEMM calls per
+    level, where per-node dispatch overhead rivals the arithmetic.
+    Bitwise solution parity is asserted, not assumed.
+    """
+    X, kernel, gen = make_problem(n)
+    u = gen.standard_normal(n)
+    configure_default_cache()
+    h = build_hmatrix(
+        X,
+        kernel,
+        tree_config=TreeConfig(leaf_size=16, seed=0),
+        skeleton_config=SkeletonConfig(
+            rank=12, num_samples=96, num_neighbors=8, seed=1
+        ),
+    )
+
+    def run(level_batch: bool):
+        cfg = SolverConfig(method="nlogn", level_batch=level_batch)
+        best = float("inf")
+        fact = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fact = factorize(h, 0.5, cfg)
+            best = min(best, time.perf_counter() - t0)
+        return fact, best
+
+    fact_off, t_off = run(False)
+    fact_on, t_on = run(True)
+    w_off = fact_off.solve(u)
+    w_on = fact_on.solve(u)
+    bitwise = bool(np.array_equal(w_on, w_off))
+    if not bitwise:
+        raise AssertionError(
+            f"level-batch parity violated at n={n}: batched and per-node "
+            "solutions differ bitwise"
+        )
+    sd_on, sd_off = fact_on.slogdet(), fact_off.slogdet()
+    return {
+        "n": n,
+        "repeats": repeats,
+        "batched_factorize_s": t_on,
+        "pernode_factorize_s": t_off,
+        "speedup_factorize": t_off / max(t_on, 1e-12),
+        "bitwise_identical": bitwise,
+        "slogdet_identical": bool(sd_on == sd_off),
+        "residual_batched": float(fact_on.residual(u, w_on)),
+    }
+
+
+def run_levelbatch_bench(args) -> int:
+    sizes = args.sizes
+    out = args.out
+    if args.smoke:
+        sizes = [1024]
+        if out == LEVELBATCH_OUT:
+            out = LEVELBATCH_OUT.with_suffix(".smoke.json")
+
+    reset_telemetry()
+    runs = []
+    for n in sizes:
+        print(f"[bench_levelbatch] n={n} ...", flush=True)
+        run = bench_levelbatch_size(n)
+        runs.append(run)
+        print(
+            f"  batched {run['batched_factorize_s']:.4f}s  "
+            f"per-node {run['pernode_factorize_s']:.4f}s  "
+            f"speedup {run['speedup_factorize']:.2f}x  "
+            f"bitwise={run['bitwise_identical']}",
+            flush=True,
+        )
+
+    from repro.perfmodel.machine import probed_machine
+
+    spec = probed_machine()
+    payload = {
+        "benchmark": "level_batched_vs_pernode_factorization",
+        "method": "nlogn direct, fixed rank 12, leaf 16",
+        "kernel": "gaussian(h=1.0), 3-D standard normal points",
+        "machine": {
+            "name": spec.name,
+            "gemm_gflops": spec.gemm_gflops,
+            "stream_bw_gbs": spec.stream_bw_gbs,
+            "dispatch_us": spec.dispatch_us,
+        },
+        "runs": runs,
+        "telemetry": telemetry_snapshot(),
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_levelbatch] wrote {out}")
+    return 0
+
+
 def run_parallel_bench(args) -> int:
     import os
 
@@ -254,7 +368,19 @@ def main(argv=None) -> int:
         "--ranks", type=int, default=DEFAULT_RANKS,
         help="virtual ranks for --parallel (power of two)",
     )
+    parser.add_argument(
+        "--level-batch-compare", action="store_true",
+        help="benchmark level-batched vs per-node factorization "
+             "instead; writes BENCH_levelbatch.json",
+    )
     args = parser.parse_args(argv)
+
+    if args.level_batch_compare:
+        if args.out == DEFAULT_OUT:
+            args.out = LEVELBATCH_OUT
+        if args.sizes == list(DEFAULT_SIZES):
+            args.sizes = list(DEFAULT_LEVELBATCH_SIZES)
+        return run_levelbatch_bench(args)
 
     if args.parallel:
         if args.out == DEFAULT_OUT:

@@ -327,6 +327,14 @@ class SolverConfig:
     #: column-by-column path.
     batch_rhs: bool = True
 
+    #: level-synchronous shape-batched numerics: group each tree level's
+    #: same-shaped nodes and issue one stacked GEMM / batched LAPACK call
+    #: per group instead of one call per node (repro.perf.levelbatch).
+    #: Produces bitwise-identical factors; ``REPRO_LEVEL_BATCH=0`` is the
+    #: environment kill switch.  Ignored by the "nlog2n" baseline (its
+    #: recursive solves are node-at-a-time by construction).
+    level_batch: bool = True
+
     #: vMPI execution backend for the distributed paths: "thread"
     #: (shared-memory mailboxes, debuggable), "process" (true multi-core
     #: via multiprocessing + shared-memory transport), or None to defer
@@ -343,9 +351,10 @@ class SolverConfig:
     _METHODS = ("nlogn", "nlog2n", "direct", "hybrid")
 
     #: fields that select *how* to execute, not *what* to compute — both
-    #: backends produce bitwise-identical factors, so checkpoint
-    #: fingerprints ignore them (see resilience/checkpoint.py).
-    _FINGERPRINT_EXCLUDE = frozenset({"backend"})
+    #: backends and both batching modes produce bitwise-identical
+    #: factors, so checkpoint fingerprints ignore them (see
+    #: resilience/checkpoint.py).
+    _FINGERPRINT_EXCLUDE = frozenset({"backend", "level_batch"})
 
     def __post_init__(self) -> None:
         if self.method not in self._METHODS:

@@ -138,15 +138,74 @@ class HMatrix:
         d = self.tree.points.shape[1]
 
         def build() -> np.ndarray:
-            pts = self.tree.node_points(leaf)
-            nrm = self.norms.node(leaf)
-            return self.kernel(pts, pts, norms_a=nrm, norms_b=nrm)
+            return self._build_leaf(leaf)
 
         info = BlockInfo(
             m=leaf.size, n=leaf.size, d=d,
             flops_per_entry=self.kernel.flops_per_entry,
         )
         return self.cache.get_or_compute(key, build, info)
+
+    def leaf_blocks_stacked(self, leaves: list[Node]) -> np.ndarray:
+        """Dense diagonal blocks of same-sized leaves as one (g, m, m) stack.
+
+        Cache misses are evaluated in a single stacked kernel call
+        (bitwise identical to per-leaf evaluation) and admitted to the
+        block cache under the same keys :meth:`leaf_block` uses, so the
+        two entry points stay interchangeable.  The returned stack is
+        freshly written (safe for the caller to modify in place).
+        """
+        from repro.perf import levelbatch
+
+        d = self.tree.points.shape[1]
+        m = leaves[0].size
+        info = BlockInfo(
+            m=m, n=m, d=d, flops_per_entry=self.kernel.flops_per_entry
+        )
+        keys = [(self._ns, "leaf", leaf.id) for leaf in leaves]
+        need = [
+            i for i, key in enumerate(keys) if not self.cache.contains(key)
+        ]
+        slices: dict[int, np.ndarray] = {}
+        if need:
+            pts = np.stack([self.tree.node_points(leaves[i]) for i in need])
+            nrm = np.stack([self.norms.node(leaves[i]) for i in need])
+            blocks = levelbatch.stacked_kernel_blocks(
+                self.kernel, pts, pts, nrm, nrm
+            )
+            for pos, i in enumerate(need):
+                slices[i] = blocks[pos].copy()
+
+        out = np.empty((len(leaves), m, m))
+        for i, key in enumerate(keys):
+            pre = slices.get(i)
+            if pre is not None:
+                out[i] = self.cache.get_or_compute(key, lambda s=pre: s, info)
+            else:
+                out[i] = self.cache.get_or_compute(
+                    key, lambda leaf=leaves[i]: self._build_leaf(leaf), info
+                )
+        return out
+
+    def _build_leaf(self, leaf: Node) -> np.ndarray:
+        pts = self.tree.node_points(leaf)
+        nrm = self.norms.node(leaf)
+        return self.kernel(pts, pts, norms_a=nrm, norms_b=nrm)
+
+    def materialize_blocks(
+        self, summs: list[KernelSummation]
+    ) -> list[np.ndarray | None]:
+        """Dense payloads for a same-shaped group of summation blocks.
+
+        Batched-cache-fill version of ``KernelSummation._stored()``: one
+        stacked kernel evaluation covers the group's cache misses; a
+        ``None`` entry means the cache declined that block and the
+        caller must use its per-node matrix-free path (exactly as a
+        per-node product would).
+        """
+        from repro.perf import levelbatch
+
+        return levelbatch.materialize_summations(summs)
 
     def _summation(
         self,

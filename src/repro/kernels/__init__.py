@@ -11,7 +11,7 @@ from repro.kernels.laplacian import LaplacianKernel
 from repro.kernels.matern import MaternKernel
 from repro.kernels.polynomial import PolynomialKernel
 from repro.kernels.distances import pairwise_sq_dists
-from repro.kernels.gsks import gsks_matvec, GSKSWorkspace
+from repro.kernels.gsks import autotuned_tiles, gsks_matvec, GSKSWorkspace
 from repro.kernels.summation import SummationMethod, KernelSummation
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "MaternKernel",
     "PolynomialKernel",
     "pairwise_sq_dists",
+    "autotuned_tiles",
     "gsks_matvec",
     "GSKSWorkspace",
     "SummationMethod",

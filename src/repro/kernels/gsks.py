@@ -18,6 +18,7 @@ so the performance model can convert them into modeled node times.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -26,12 +27,54 @@ from repro.kernels.base import Kernel
 from repro.obs import registry, tracer
 from repro.util.flops import count_flops, count_mops
 
-__all__ = ["GSKSWorkspace", "gsks_matvec"]
+__all__ = ["GSKSWorkspace", "autotuned_tiles", "gsks_matvec"]
 
 #: default tile sizes — sized so a float64 tile stays ~2 MiB (L2-ish),
 #: mirroring the macro-kernel blocking of the BLIS framework.
 DEFAULT_TILE_M = 256
 DEFAULT_TILE_N = 1024
+
+_TUNED: tuple[int, int] | None = None
+
+
+def autotuned_tiles() -> tuple[int, int]:
+    """Machine-tuned ``(tile_m, tile_n)`` for :class:`GSKSWorkspace`.
+
+    ``tile_n`` is widened until one tile's elementwise pass costs well
+    over the measured per-call dispatch overhead (~2 %), so small-tile
+    loops are dominated by math, not Python — the probed
+    :class:`~repro.perfmodel.MachineSpec` supplies both rates.  Clamped
+    to ``[DEFAULT_TILE_N, 4096]`` columns and rounded to a power of two;
+    ``REPRO_GSKS_TILE=MxN`` overrides, and with probing disabled
+    (``REPRO_MACHINE_PROBE=0``) the static defaults are used.  Cached
+    per process (the probe itself is also cached).
+    """
+    global _TUNED
+    env = os.environ.get("REPRO_GSKS_TILE")
+    if env:
+        try:
+            m_s, n_s = env.lower().split("x", 1)
+            tm, tn = int(m_s), int(n_s)
+            if tm > 0 and tn > 0:
+                return (tm, tn)
+        except ValueError:
+            pass
+    if _TUNED is not None:
+        return _TUNED
+    from repro.perfmodel.machine import probed_machine, probing_enabled
+
+    if not probing_enabled():
+        _TUNED = (DEFAULT_TILE_M, DEFAULT_TILE_N)
+        return _TUNED
+    spec = probed_machine()
+    # columns needed so DEFAULT_TILE_M rows of exp() take >= 50x the
+    # per-call dispatch time (2% overhead ceiling).
+    target = 50.0 * spec.dispatch_us * 1e-6 * spec.exp_gelems * 1e9
+    tn = DEFAULT_TILE_N
+    while tn < 4096 and DEFAULT_TILE_M * tn < target:
+        tn *= 2
+    _TUNED = (DEFAULT_TILE_M, tn)
+    return _TUNED
 
 
 class GSKSWorkspace:
@@ -42,9 +85,17 @@ class GSKSWorkspace:
     The buffer is *thread-local*: one workspace object may be shared by
     the task-parallel executor and the virtual-MPI rank threads without
     tile races (each thread lazily gets its own tile).
+
+    Tile sizes default to :func:`autotuned_tiles`; they are fixed at
+    construction and travel with the pickled workspace, so every worker
+    process of a distributed run tiles identically no matter what its
+    own probe would say.
     """
 
-    def __init__(self, tile_m: int = DEFAULT_TILE_M, tile_n: int = DEFAULT_TILE_N):
+    def __init__(self, tile_m: int | None = None, tile_n: int | None = None):
+        auto_m, auto_n = autotuned_tiles()
+        tile_m = auto_m if tile_m is None else tile_m
+        tile_n = auto_n if tile_n is None else tile_n
         if tile_m <= 0 or tile_n <= 0:
             raise ValueError("tile sizes must be positive")
         self.tile_m = int(tile_m)

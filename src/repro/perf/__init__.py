@@ -14,6 +14,9 @@ package makes it adaptive and central:
 * :class:`NormTable` — tree-wide precomputed squared norms, threaded
   through every GSKS call site so the rank-d distance update never
   recomputes ``||x||^2`` rows.
+* :mod:`~repro.perf.levelbatch` — level-synchronous shape-batched
+  numerics: stacked kernel evaluation, batched LU/solve, and the
+  roofline-derived batching threshold (see docs/PERFORMANCE.md).
 """
 
 from repro.perf.blockcache import (
@@ -24,13 +27,16 @@ from repro.perf.blockcache import (
     default_cache,
     set_default_cache,
 )
+from repro.perf.levelbatch import BatchPolicy, batching_enabled
 from repro.perf.norms import NormTable
 
 __all__ = [
+    "BatchPolicy",
     "BlockCache",
     "BlockInfo",
     "CacheStats",
     "NormTable",
+    "batching_enabled",
     "configure_default_cache",
     "default_cache",
     "set_default_cache",

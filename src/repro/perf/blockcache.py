@@ -123,12 +123,13 @@ class BlockCache:
         different stripes proceed concurrently.
     machine:
         :class:`~repro.perfmodel.MachineSpec` used by the
-        store-vs-recompute policy.  Defaults to
-        :data:`~repro.perfmodel.machine.PYTHON_NODE`, calibrated for
-        this reproduction's single-process numpy execution (where
-        recomputing kernel entries is far slower than streaming stored
-        blocks, so storing wins whenever the budget allows — the
-        paper's Table IV conclusion for blocks that fit).
+        store-vs-recompute policy.  Defaults to the runtime-probed spec
+        of this host (:func:`~repro.perfmodel.machine.probed_machine`;
+        falls back to :data:`~repro.perfmodel.machine.PYTHON_NODE` when
+        ``REPRO_MACHINE_PROBE=0``).  On any plausible host, recomputing
+        kernel entries through tiled numpy is far slower than streaming
+        stored blocks, so storing wins whenever the budget allows — the
+        paper's Table IV conclusion for blocks that fit.
     """
 
     def __init__(
@@ -144,10 +145,10 @@ class BlockCache:
             raise ValueError("n_stripes must be >= 1")
         # deferred import: repro.perfmodel's package __init__ reaches the
         # parallel solvers, which import the H-matrix, which imports us.
-        from repro.perfmodel.machine import PYTHON_NODE
+        from repro.perfmodel.machine import probed_machine
 
         self.budget_words = budget_words
-        self.machine = machine or PYTHON_NODE
+        self.machine = machine or probed_machine()
         self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
         self._words = 0
         self._lock = threading.Lock()
@@ -278,11 +279,20 @@ class BlockCache:
         key: Hashable,
         factory: Callable[[], np.ndarray],
         info: BlockInfo | None = None,
+        *,
+        decided: bool | None = None,
     ) -> np.ndarray | None:
         """Like :meth:`get_or_compute`, but returns None *without
         computing* when the policy or budget declines the block — the
-        caller then uses its cheaper matrix-free path instead."""
-        if not self.should_store(info):
+        caller then uses its cheaper matrix-free path instead.
+
+        ``decided`` short-circuits the :meth:`should_store` evaluation
+        with a verdict the caller already computed for this ``info`` —
+        the policy is deterministic in the block dimensions, so callers
+        offering a same-shaped batch need only evaluate it once.  The
+        hit/miss/rejection accounting is identical either way.
+        """
+        if not (self.should_store(info) if decided is None else decided):
             with self._lock:
                 self._rejections += 1
             return None

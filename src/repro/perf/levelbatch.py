@@ -1,0 +1,244 @@
+"""Level-synchronous shape-batched numerics.
+
+The factorization, skeletonization, and frontier-assembly loops visit
+thousands of small same-shaped nodes; below the leaf-size crossover the
+cost is Python/LAPACK *dispatch*, not flops.  INV-ASKIT gets its
+single-node throughput by stacking a whole tree level's same-shaped
+per-node updates into one level-wide BLAS call — this module is that
+idea for the numpy reproduction:
+
+* :func:`group_by_key` — bucket a level's nodes by operand shape,
+  preserving node order inside each bucket;
+* :func:`stacked_kernel_blocks` — one batched kernel evaluation for a
+  ``(b, m, d) x (b, n, d)`` stack of point blocks, replicating the
+  per-node evaluation's exact op sequence (bitwise-identical slices);
+* :func:`materialize_summations` — dense payloads for a same-shaped
+  group of PRECOMPUTED :class:`~repro.kernels.summation.KernelSummation`
+  blocks, batch-evaluating the cache misses while honoring the cache's
+  admission policy (a declined block returns ``None`` and the caller
+  falls back to the per-node matrix-free path);
+* :class:`BatchPolicy` — the roofline-derived "is this group worth
+  stacking" threshold, fed by the probed
+  :class:`~repro.perfmodel.MachineSpec` instead of fixed constants.
+
+Batched LU/solve goes through
+:func:`repro.util.lapack.lu_factor_batched` /
+:func:`~repro.util.lapack.lu_solve_batched`, which are bitwise
+identical to the per-node calls — so the level-batched factorization
+produces bit-for-bit the same factors as the per-node path, and the
+flag (``SolverConfig.level_batch`` / ``REPRO_LEVEL_BATCH=0``) is purely
+an execution-strategy switch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.util.flops import count_flops, count_kernel_evals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernels.base import Kernel
+    from repro.kernels.summation import KernelSummation
+
+__all__ = [
+    "BatchPolicy",
+    "batching_enabled",
+    "group_by_key",
+    "stacked_kernel_blocks",
+    "one_norms_stacked",
+    "materialize_summations",
+]
+
+
+def batching_enabled() -> bool:
+    """Process-wide kill switch: ``REPRO_LEVEL_BATCH=0`` disables batching."""
+    return os.environ.get("REPRO_LEVEL_BATCH", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When is stacking a shape group worth it on this machine?
+
+    Batching a group of ``count`` same-shaped blocks saves
+    ``(count - 1) * calls_saved`` per-call dispatch overheads but pays
+    roughly one extra gather + scatter stream of the stacked operands.
+    The break-even point therefore depends on the measured dispatch
+    overhead and stream bandwidth — :meth:`current` reads both from the
+    probed :class:`~repro.perfmodel.MachineSpec`.
+
+    ``min_batch`` is a hard floor on the group size
+    (``REPRO_LEVEL_BATCH_MIN`` overrides it).
+    """
+
+    dispatch_us: float
+    stream_bw_gbs: float
+    min_batch: int = 2
+
+    @classmethod
+    def current(cls) -> "BatchPolicy":
+        from repro.perfmodel.machine import probed_machine
+
+        spec = probed_machine()
+        min_batch = 2
+        env = os.environ.get("REPRO_LEVEL_BATCH_MIN")
+        if env:
+            try:
+                min_batch = max(int(env), 1)
+            except ValueError:
+                pass
+        return cls(
+            dispatch_us=spec.dispatch_us,
+            stream_bw_gbs=spec.stream_bw_gbs,
+            min_batch=min_batch,
+        )
+
+    def worth(self, count: int, item_words: int, calls_saved: int = 6) -> bool:
+        """True when stacking ``count`` items of ``item_words`` f64 words
+        each (with ``calls_saved`` dispatches amortized per item) wins."""
+        if count < max(self.min_batch, 2):
+            return False
+        saved = (count - 1) * calls_saved * self.dispatch_us * 1e-6
+        extra = 2.0 * count * item_words * 8.0 / (self.stream_bw_gbs * 1e9)
+        return saved > extra
+
+
+def group_by_key(
+    items: Sequence, key: Callable[[object], Hashable]
+) -> dict[Hashable, list[int]]:
+    """Bucket indices of ``items`` by ``key(item)``, preserving order."""
+    groups: dict[Hashable, list[int]] = {}
+    for i, item in enumerate(items):
+        groups.setdefault(key(item), []).append(i)
+    return groups
+
+
+def stacked_kernel_blocks(
+    kernel: "Kernel",
+    XA: np.ndarray,
+    XB: np.ndarray,
+    norms_a: np.ndarray | None = None,
+    norms_b: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched dense kernel blocks ``K(XA[i], XB[i])`` for a shape group.
+
+    ``XA``/``XB`` are ``(b, m, d)`` / ``(b, n, d)`` stacks and
+    ``norms_a``/``norms_b`` the matching ``(b, m)`` / ``(b, n)`` squared
+    norms (required for distance kernels — callers always have a
+    :class:`~repro.perf.NormTable`).  Replicates the exact op sequence
+    of :meth:`Kernel.__call__` per slice, so every slice is bitwise
+    identical to the per-node evaluation; flops and kernel-evaluation
+    counters are charged with the per-node labels and totals.
+    """
+    b, m, d = XA.shape
+    n = XB.shape[1]
+    if kernel.uses_distances:
+        if norms_a is None or norms_b is None:
+            raise ValueError("stacked distance kernels need precomputed norms")
+        block = np.matmul(XA, XB.transpose(0, 2, 1))
+        block *= -2.0
+        count_flops(b * (2 * m * n * d + 3 * m * n), label="pairwise_sq_dists")
+        block += norms_a[:, :, None]
+        block += norms_b[:, None, :]
+        np.maximum(block, 0.0, out=block)
+    else:
+        block = np.matmul(XA, XB.transpose(0, 2, 1))
+        count_flops(b * 2 * m * n * d, label="kernel_gemm")
+    block = kernel._apply(block)
+    count_flops(kernel.flops_per_entry * b * m * n, label="kernel_elementwise")
+    count_kernel_evals(b * m * n)
+    return block
+
+
+def one_norms_stacked(A: np.ndarray) -> np.ndarray:
+    """1-norms of a ``(b, n, n)`` stack, bitwise equal to per-slice
+    ``np.linalg.norm(A[i], 1)`` (same pairwise-summation order)."""
+    if A.shape[0] == 0 or A.shape[1] == 0:
+        return np.zeros(A.shape[0])
+    return np.abs(A).sum(axis=1).max(axis=1)
+
+
+def materialize_summations(
+    summs: Sequence["KernelSummation"],
+) -> list[np.ndarray | None]:
+    """Dense blocks for a *same-shaped* group of summations, or ``None``
+    where the per-node path would also go matrix-free.
+
+    Mirrors ``KernelSummation._stored()`` exactly — eager blocks are
+    returned as-is, cache-backed blocks go through the cache's
+    ``offer`` (same hit/miss/rejection accounting as a per-node
+    product) — except that all cache *misses* in the group are
+    evaluated in one stacked kernel call instead of one call each.
+    Entries whose method is not PRECOMPUTED, or whose block the cache
+    declines, come back ``None``: the caller must fall back to the
+    per-node ``matvec`` for those (its GSKS path is tiled and not
+    bitwise-comparable to a dense product, so the choice must match the
+    per-node path's).
+    """
+    from repro.kernels.summation import SummationMethod
+
+    out: list[np.ndarray | None] = [None] * len(summs)
+    pending: list[int] = []
+    for i, summ in enumerate(summs):
+        if summ.method is not SummationMethod.PRECOMPUTED:
+            continue
+        if summ._matrix is not None:
+            out[i] = summ._matrix
+        elif summ._cache is not None:
+            pending.append(i)
+
+    if not pending:
+        return out
+
+    # the store-vs-recompute policy depends only on the block dimensions
+    # and the machine model, and every summation in the group has the
+    # same shape — evaluate it once per (cache, shape), not per block.
+    infos = {i: summs[i]._block_info() for i in pending}
+    verdicts: dict[int, bool] = {}
+    for i in pending:
+        ck = id(summs[i]._cache)
+        if ck not in verdicts:
+            verdicts[ck] = summs[i]._cache.should_store(infos[i])
+
+    # one stacked evaluation for the group's actual cache misses (blocks
+    # the policy would store); already-cached and policy-declined blocks
+    # are excluded so flop charges match the per-node path exactly.
+    need = [
+        i
+        for i in pending
+        if verdicts[id(summs[i]._cache)]
+        and not summs[i]._cache.contains(summs[i]._cache_key)
+    ]
+    slices: dict[int, np.ndarray] = {}
+    if need:
+        kernel = summs[need[0]].kernel
+        XA = np.stack([summs[i].XA for i in need])
+        XB = np.stack([summs[i].XB for i in need])
+        if kernel.uses_distances:
+            na = np.stack([summs[i]._norms_a for i in need])
+            nb = np.stack([summs[i]._norms_b for i in need])
+        else:
+            na = nb = None
+        blocks = stacked_kernel_blocks(kernel, XA, XB, na, nb)
+        for pos, i in enumerate(need):
+            # copy: a slice view would pin the whole stack in the cache.
+            slices[i] = blocks[pos].copy()
+
+    for i in pending:
+        summ = summs[i]
+        pre = slices.get(i)
+        factory = (lambda s=pre: s) if pre is not None else summ._evaluate
+        out[i] = summ._cache.offer(
+            summ._cache_key,
+            factory,
+            infos[i],
+            decided=verdicts[id(summ._cache)],
+        )
+    return out

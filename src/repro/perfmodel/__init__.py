@@ -11,7 +11,15 @@ comparisons (GSKS vs MKL+VML, GEMV vs GEMM vs GSKS, scaling
 efficiency) are all *ratios*, which the counters capture exactly.
 """
 
-from repro.perfmodel.machine import MachineSpec, HASWELL_NODE, KNL_NODE
+from repro.perfmodel.machine import (
+    MachineSpec,
+    HASWELL_NODE,
+    KNL_NODE,
+    PYTHON_NODE,
+    probe_machine,
+    probed_machine,
+    probing_enabled,
+)
 from repro.perfmodel.summation_model import (
     SummationTimings,
     model_reference_summation,
@@ -23,6 +31,10 @@ __all__ = [
     "MachineSpec",
     "HASWELL_NODE",
     "KNL_NODE",
+    "PYTHON_NODE",
+    "probe_machine",
+    "probed_machine",
+    "probing_enabled",
     "SummationTimings",
     "model_reference_summation",
     "model_gsks_summation",

@@ -172,6 +172,8 @@ def skeletonize_node(
     node: Node,
     candidates: np.ndarray,
     norms: np.ndarray | None = None,
+    rows: np.ndarray | None = None,
+    sample_block: np.ndarray | None = None,
 ) -> NodeSkeleton | None:
     """Skeletonize one node given its candidate columns.
 
@@ -179,19 +181,26 @@ def skeletonize_node(
     an internal node).  Deterministic per ``(sampler seed, node id)``.
     ``norms`` are optional precomputed squared norms of ``tree.points``
     (one tree-wide table shared by every node's sample block).
+    ``rows``/``sample_block`` let the level-batched driver pass a
+    pre-drawn row sample and its pre-evaluated (bitwise-identical)
+    sample matrix ``K_{S' cand}``; both default to computing here.
     """
-    rows = sampler.sample(node)
+    if rows is None:
+        rows = sampler.sample(node)
     X = tree.points
-    G = (
-        kernel(
-            X[rows],
-            X[candidates],
-            norms_a=None if norms is None else norms[rows],
-            norms_b=None if norms is None else norms[candidates],
+    if sample_block is not None:
+        G = sample_block
+    else:
+        G = (
+            kernel(
+                X[rows],
+                X[candidates],
+                norms_a=None if norms is None else norms[rows],
+                norms_b=None if norms is None else norms[candidates],
+            )
+            if len(rows)
+            else np.zeros((0, len(candidates)))
         )
-        if len(rows)
-        else np.zeros((0, len(candidates)))
-    )
     result = interpolative_decomposition(
         G,
         tau=config.tau,
@@ -211,6 +220,43 @@ def skeletonize_node(
     )
 
 
+def _stacked_sample_blocks(
+    worklist: list[tuple[Node, np.ndarray, np.ndarray]],
+    kernel: Kernel,
+    X: np.ndarray,
+    norms: np.ndarray | None,
+    policy,
+) -> dict[int, np.ndarray]:
+    """Batch-evaluate same-shaped sample matrices ``K_{S' cand}``.
+
+    ``worklist`` holds one ``(node, candidates, rows)`` entry per node of
+    the level; returns ``{worklist index: block}`` for the groups worth
+    stacking (each slice bitwise identical to the per-node evaluation —
+    see :func:`repro.perf.levelbatch.stacked_kernel_blocks`).  The ID
+    itself stays per node: pivoted QR has no batched form.
+    """
+    from repro.perf import levelbatch
+
+    out: dict[int, np.ndarray] = {}
+    groups = levelbatch.group_by_key(
+        range(len(worklist)),
+        lambda i: (len(worklist[i][2]), len(worklist[i][1])),
+    )
+    for (r, c), idxs in groups.items():
+        if r == 0 or not policy.worth(len(idxs), r * c, calls_saved=4):
+            continue
+        rows = np.stack([worklist[i][2] for i in idxs])
+        cands = np.stack([worklist[i][1] for i in idxs])
+        na = nb = None
+        if norms is not None:
+            na = norms[rows]
+            nb = norms[cands]
+        blocks = levelbatch.stacked_kernel_blocks(kernel, X[rows], X[cands], na, nb)
+        for pos, i in enumerate(idxs):
+            out[i] = blocks[pos]
+    return out
+
+
 def skeletonize(
     tree: BallTree,
     kernel: Kernel,
@@ -219,6 +265,7 @@ def skeletonize(
     neighbors: NeighborTable | None = None,
     deadline=None,
     coarsen=None,
+    level_batch: bool = True,
 ) -> SkeletonSet:
     """Run Algorithm II.1 bottom-up over the whole tree.
 
@@ -245,6 +292,11 @@ def skeletonize(
         always completes, because every later rung needs skeletons to
         exist.  Without it, an installed deadline raises
         :class:`~repro.exceptions.DeadlineExceededError` between nodes.
+    level_batch:
+        Stack a level's same-shaped sample matrices into one batched
+        kernel evaluation (bitwise identical to per-node evaluation;
+        ``REPRO_LEVEL_BATCH=0`` also disables it).  The interpolative
+        decompositions always run per node.
 
     Returns
     -------
@@ -271,6 +323,13 @@ def skeletonize(
     eff = config
     thresholds = list(coarsen.thresholds()) if coarsen is not None else []
 
+    policy = None
+    if level_batch:
+        from repro.perf import levelbatch
+
+        if levelbatch.batching_enabled():
+            policy = levelbatch.BatchPolicy.current()
+
     for level in range(tree.depth, level_stop - 1, -1):
         if deadline is not None:
             if coarsen is not None:
@@ -293,6 +352,10 @@ def skeletonize(
                     registry().counter("resilience.degradation", rung="coarsen").inc()
             else:
                 deadline.check(f"skeletonize.level({level})")
+        # pass 1: candidates and (order-independent, per-node-keyed) row
+        # samples for the whole level, in node order — so the batched
+        # kernel evaluation below changes nothing observable.
+        worklist: list[tuple[Node, np.ndarray, np.ndarray]] = []
         for node in tree.level_nodes(level):
             if deadline is not None and coarsen is None:
                 deadline.charge(1, f"skeletonize.node({node.id})")
@@ -307,8 +370,23 @@ def skeletonize(
                 candidates = np.concatenate(
                     [sset[left.id].skeleton, sset[right.id].skeleton]
                 )
+            worklist.append((node, candidates, sampler.sample(node)))
+        blocks: dict[int, np.ndarray] = {}
+        if policy is not None:
+            blocks = _stacked_sample_blocks(
+                worklist, kernel, tree.points, norms, policy
+            )
+        for i, (node, candidates, rows) in enumerate(worklist):
             node_skel = skeletonize_node(
-                tree, kernel, eff, sampler, node, candidates, norms
+                tree,
+                kernel,
+                eff,
+                sampler,
+                node,
+                candidates,
+                norms,
+                rows=rows,
+                sample_block=blocks.get(i),
             )
             if node_skel is None:
                 # alpha~ == l~ u r~: no compression; stop here and let the

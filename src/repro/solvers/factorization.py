@@ -33,12 +33,18 @@ from repro.config import GMRESConfig, SolverConfig
 from repro.exceptions import NotFactorizedError, StabilityError
 from repro.hmatrix.hmatrix import HMatrix
 from repro.kernels.summation import KernelSummation, SummationMethod
-from repro.obs import span
+from repro.obs import registry, span
+from repro.perf import levelbatch
 from repro.solvers.gmres import gmres, gmres_batched
-from repro.solvers.stability import StabilityReport, estimate_rcond, is_breakdown
+from repro.solvers.stability import (
+    StabilityReport,
+    estimate_rcond,
+    estimate_rcond_batched,
+    is_breakdown,
+)
 from repro.tree.node import Node
 from repro.util import lapack
-from repro.util.flops import count_flops
+from repro.util.flops import count_flops, count_mops
 from repro.util.validation import check_vector
 
 __all__ = [
@@ -136,6 +142,19 @@ class HierarchicalFactorization:
         #: tree levels whose factors are complete (checkpoint/resume
         #: granularity; includes restored levels).
         self.completed_levels: set[int] = set()
+        #: contiguous per-level factor storage (level -> list of stacked
+        #: arrays); the per-node ``LeafFactor``/``InternalFactor`` fields
+        #: are *views* into these stacks when the level was batched.
+        self.level_stacks: dict[int, list[np.ndarray]] = {}
+        #: node id -> (phat stack, slice index, the exact view handed to
+        #: the node's factor).  Lets the next level up gather children
+        #: P^ blocks as one strided view instead of a stack copy; the
+        #: view identity check makes recovery-rewritten entries fall
+        #: back to copying automatically.
+        self._phat_slots: dict[int, tuple[np.ndarray, int, np.ndarray]] = {}
+        #: batching threshold for this factorization; ``None`` runs the
+        #: per-node path (set by :func:`factorize`).
+        self._batch_policy: levelbatch.BatchPolicy | None = None
         # low-storage solves temporarily re-materialize P^ blocks; the
         # lock serializes concurrent solves in that mode (full-storage
         # solves are read-only and need no coordination).
@@ -145,6 +164,10 @@ class HierarchicalFactorization:
     def __getstate__(self):
         state = dict(self.__dict__)
         del state["_solve_lock"]
+        # the per-node factors (views into the stacks) pickle as plain
+        # arrays; shipping the stacks too would double the payload.
+        state["level_stacks"] = {}
+        state["_phat_slots"] = {}
         return state
 
     def __setstate__(self, state):
@@ -229,6 +252,315 @@ class HierarchicalFactorization:
                 factor.phat = self._phat_recursive(node)
             else:
                 factor.phat = self._phat_telescoped(node, factor, phat_l, phat_r)
+
+    # ------------------------------------------------------------------
+    # level-synchronous batched construction (repro.perf.levelbatch)
+    # ------------------------------------------------------------------
+    def _factor_level_batched(
+        self,
+        nodes: list[Node],
+        level: int,
+        policy: levelbatch.BatchPolicy,
+        deadline,
+        factor_one,
+    ) -> None:
+        """Factor one tree level with shape-batched stacked numerics.
+
+        Deadline charges land per node (same units and tags as the
+        per-node loop) before any numerics run, so a deadline trips at
+        the level boundary instead of mid-stack.  Nodes in groups too
+        small or ragged to batch — and nodes whose ``V`` blocks the
+        cache policy keeps matrix-free — go through ``factor_one``
+        unchanged.  Broken-down nodes are collected and re-run through
+        the recovery ladder afterwards, in node order; the recovered
+        subtrees are disjoint, so deferral is value-identical to the
+        per-node path's recover-on-the-spot.
+        """
+        if deadline is not None:
+            for node in nodes:
+                deadline.charge(1, f"factorize.node({node.id})")
+        tree = self.hmatrix.tree
+        stacks = self.level_stacks.setdefault(level, [])
+        leaves = [n for n in nodes if tree.is_leaf(n)]
+        internals = [n for n in nodes if not tree.is_leaf(n)]
+        pernode: list[Node] = []
+        broken: list[tuple[Node, StabilityError]] = []
+        if leaves:
+            pn, br = self._factor_leaves_batched(leaves, policy, stacks)
+            pernode.extend(pn)
+            broken.extend(br)
+        if internals:
+            pn, br = self._factor_internals_batched(internals, policy, stacks)
+            pernode.extend(pn)
+            broken.extend(br)
+        if not stacks:
+            del self.level_stacks[level]
+        registry().counter("levelbatch.nodes").inc(len(nodes) - len(pernode))
+        registry().counter("levelbatch.fallback").inc(len(pernode))
+        for node in pernode:
+            factor_one(node)
+        for node, exc in broken:
+            if not self.config.recovery.enabled:
+                raise exc
+            self._recover_node(node)
+        # shape groups insert factors out of node order; restore the
+        # per-node visit order so order-dependent float accumulations
+        # over the dicts (slogdet's log sum) stay bitwise identical.
+        for node in nodes:
+            if node.id in self.leaf_factors:
+                self.leaf_factors[node.id] = self.leaf_factors.pop(node.id)
+            else:
+                self.node_factors[node.id] = self.node_factors.pop(node.id)
+
+    def _factor_leaves_batched(
+        self,
+        leaves: list[Node],
+        policy: levelbatch.BatchPolicy,
+        stacks: list[np.ndarray],
+    ) -> tuple[list[Node], list[tuple[Node, StabilityError]]]:
+        """Stacked counterpart of :meth:`_factor_leaf` for one level."""
+        h = self.hmatrix
+        sset = h.skeletons
+        rec = self.config.recovery
+        check = self.config.check_stability or rec.enabled
+        pernode: list[Node] = []
+        broken: list[tuple[Node, StabilityError]] = []
+        groups = levelbatch.group_by_key(
+            leaves,
+            lambda leaf: (
+                leaf.size,
+                sset[leaf.id].rank if sset.is_skeletonized(leaf.id) else -1,
+            ),
+        )
+        for (m, s), idxs in groups.items():
+            members = [leaves[i] for i in idxs]
+            g = len(members)
+            if m == 0 or not policy.worth(g, m * m, calls_saved=8):
+                pernode.extend(members)
+                continue
+            A = h.leaf_blocks_stacked(members)
+            idx = np.arange(m)
+            lam = self.lam + np.array(
+                [self._lam_extra.get(leaf.id, 0.0) for leaf in members]
+            )
+            A[:, idx, idx] += lam[:, None]
+            anorms = levelbatch.one_norms_stacked(A) if check else np.zeros(g)
+            for i, leaf in enumerate(members):
+                self._leaf_anorms[leaf.id] = float(anorms[i])
+            phat = None
+            if s >= 0:
+                # F-sliced right-hand sides let dgesv solve in place.
+                P = np.empty((g, s, m)).transpose(0, 2, 1)
+                for i, leaf in enumerate(members):
+                    P[i] = sset[leaf.id].proj.T
+                lu, piv, phat = lapack.lu_factor_solve_batched(
+                    A, P, overwrite_b=True
+                )
+                count_flops(g * (2 * m**3 // 3), label="factor_leaf_lu")
+                count_flops(g * 2 * m**2 * s, label="factor_leaf_phat")
+            else:
+                lu, piv = lapack.lu_factor_batched(A)
+                count_flops(g * (2 * m**3 // 3), label="factor_leaf_lu")
+            stacks.extend([lu, piv] + ([phat] if phat is not None else []))
+            rconds = (
+                estimate_rcond_batched(lu, anorms) if check else np.ones(g)
+            )
+            for i, leaf in enumerate(members):
+                rcond = float(rconds[i])
+                self.stability.record("leaf", leaf.id, rcond)
+                factor = LeafFactor(
+                    lu=(lu[i], piv[i]),
+                    phat=None if phat is None else phat[i],
+                    rcond=rcond,
+                )
+                self.leaf_factors[leaf.id] = factor
+                if phat is not None:
+                    self._phat_slots[leaf.id] = (phat, i, factor.phat)
+                if rec.enabled and is_breakdown(rcond, rec.rcond_breakdown):
+                    broken.append(
+                        (
+                            leaf,
+                            StabilityError(
+                                f"leaf block {leaf.id} broke down "
+                                f"(rcond={rcond:.2e})"
+                            ),
+                        )
+                    )
+        return pernode, broken
+
+    def _factor_internals_batched(
+        self,
+        nodes: list[Node],
+        policy: levelbatch.BatchPolicy,
+        stacks: list[np.ndarray],
+    ) -> tuple[list[Node], list[tuple[Node, StabilityError]]]:
+        """Stacked counterpart of :meth:`_factor_internal` for one level.
+
+        Groups by the full operand-shape tuple, materializes the
+        children's ``V`` blocks through the cache (honoring its
+        store-vs-recompute policy — a declined block drops the node to
+        the per-node matrix-free path), then issues one stacked GEMM /
+        LU / solve per step of eq. (8) and eq. (10).  Flops and memory
+        ops are charged with the per-node labels and totals.
+        """
+        h = self.hmatrix
+        tree = h.tree
+        sset = h.skeletons
+        rec = self.config.recovery
+        check = self.config.check_stability or rec.enabled
+        low = self.config.storage == "low"
+        pernode: list[Node] = []
+        broken: list[tuple[Node, StabilityError]] = []
+
+        def node_key(node: Node):
+            left, right = tree.children(node)
+            return (
+                left.size,
+                right.size,
+                sset[left.id].rank,
+                sset[right.id].rank,
+                sset[node.id].rank if sset.is_skeletonized(node.id) else -1,
+            )
+
+        groups = levelbatch.group_by_key(nodes, node_key)
+        for (nl, nr, s_l, s_r, s_a), idxs in groups.items():
+            members = [nodes[i] for i in idxs]
+            g = len(members)
+            s = s_l + s_r
+            item_words = s * s + s_l * nr + s_r * nl + max(s_a, 0) * (nl + nr)
+            if not policy.worth(g, item_words, calls_saved=12):
+                pernode.extend(members)
+                continue
+            children = [tree.children(n) for n in members]
+            vbls = [h.sibling_block(l) for l, _ in children]
+            vbrs = [h.sibling_block(r) for _, r in children]
+            K_l = h.materialize_blocks(vbls)  # K_{l~ r}, (s_l, |r|)
+            K_r = h.materialize_blocks(vbrs)  # K_{r~ l}, (s_r, |l|)
+            keep = [
+                i for i in range(g) if K_l[i] is not None and K_r[i] is not None
+            ]
+            if len(keep) < g:
+                kept = set(keep)
+                pernode.extend(members[i] for i in range(g) if i not in kept)
+                if len(keep) < 2:
+                    pernode.extend(members[i] for i in keep)
+                    continue
+                members = [members[i] for i in keep]
+                children = [children[i] for i in keep]
+                vbls = [vbls[i] for i in keep]
+                vbrs = [vbrs[i] for i in keep]
+                K_l = [K_l[i] for i in keep]
+                K_r = [K_r[i] for i in keep]
+                g = len(members)
+            K_lr = np.stack(K_l)
+            K_rl = np.stack(K_r)
+            phat_l = self._gather_phats([l for l, _ in children])
+            phat_r = self._gather_phats([r for _, r in children])
+
+            # Z = I + V W (eq. 8), one stacked GEMM per off-diagonal block.
+            B_lr = np.matmul(K_lr, phat_r)  # (g, s_l, s_r)
+            B_rl = np.matmul(K_rl, phat_l)  # (g, s_r, s_l)
+            count_flops(g * 2 * s_l * nr * s_r, label="summation_gemv")
+            count_mops(g * (s_l * nr + nr * s_r + s_l * s_r))
+            count_flops(g * 2 * s_r * nl * s_l, label="summation_gemv")
+            count_mops(g * (s_r * nl + nl * s_l + s_r * s_l))
+            # With stability checks off, F-sliced storage lets the LU
+            # factor Z in place; the 1-norm estimate must read a
+            # C-ordered stack (summation order is layout-dependent, and
+            # the per-node reference norm runs on C-ordered blocks).
+            if check:
+                Z = np.zeros((g, s, s))
+            else:
+                Z = np.zeros((g, s, s)).transpose(0, 2, 1)
+            di = np.arange(s)
+            Z[:, di, di] = 1.0
+            Z[:, :s_l, s_l:] = B_lr
+            Z[:, s_l:, :s_l] = B_rl
+            anorms = levelbatch.one_norms_stacked(Z) if check else np.zeros(g)
+            y = None
+            if s_a >= 0:
+                # eq. (10) telescoping, one stacked GEMM per step; the
+                # reduced solve fuses with the LU below (one dgesv pass).
+                projT_l = np.empty((g, s_l, s_a))
+                projT_r = np.empty((g, s_r, s_a))
+                for i, node in enumerate(members):
+                    proj = sset[node.id].proj  # (s_a, s_l + s_r)
+                    projT_l[i] = proj[:, :s_l].T
+                    projT_r[i] = proj[:, s_l:].T
+                G_l = np.matmul(phat_l, projT_l)  # (g, |l|, s_a)
+                G_r = np.matmul(phat_r, projT_r)  # (g, |r|, s_a)
+                count_flops(
+                    g * 2 * s_a * (nl * s_l + nr * s_r),
+                    label="factor_telescope",
+                )
+                t_top = np.matmul(K_lr, G_r)
+                t_bot = np.matmul(K_rl, G_l)
+                count_flops(g * 2 * s_l * nr * s_a, label="summation_gemv")
+                count_mops(g * (s_l * nr + nr * s_a + s_l * s_a))
+                count_flops(g * 2 * s_r * nl * s_a, label="summation_gemv")
+                count_mops(g * (s_r * nl + nl * s_a + s_r * s_a))
+                t = np.empty((g, s_a, s)).transpose(0, 2, 1)
+                t[:, :s_l] = t_top
+                t[:, s_l:] = t_bot
+                z_lu, z_piv, y = lapack.lu_factor_solve_batched(
+                    Z, t, overwrite_a=not check, overwrite_b=True
+                )
+                count_flops(g * 2 * s**2 * s_a, label="factor_z_solve")
+            else:
+                z_lu, z_piv = lapack.lu_factor_batched(Z, overwrite_a=not check)
+            count_flops(g * (2 * s**3 // 3), label="factor_z_lu")
+            stacks.extend([z_lu, z_piv])
+            rconds = (
+                estimate_rcond_batched(z_lu, anorms) if check else np.ones(g)
+            )
+            factors: list[InternalFactor] = []
+            for i, node in enumerate(members):
+                rcond = float(rconds[i])
+                self.stability.record("reduced", node.id, rcond)
+                factor = InternalFactor(
+                    z_lu=(z_lu[i], z_piv[i]),
+                    s_l=s_l,
+                    s_r=s_r,
+                    vblock_l=vbls[i],
+                    vblock_r=vbrs[i],
+                    phat=None,
+                    rcond=rcond,
+                )
+                self.node_factors[node.id] = factor
+                factors.append(factor)
+                if rec.enabled and is_breakdown(rcond, rec.rcond_breakdown):
+                    broken.append(
+                        (
+                            node,
+                            StabilityError(
+                                f"reduced system at node {node.id} broke down "
+                                f"(rcond={rcond:.2e})"
+                            ),
+                        )
+                    )
+
+            if s_a >= 0:
+                top = G_l - np.matmul(phat_l, y[:, :s_l])
+                bot = G_r - np.matmul(phat_r, y[:, s_l:])
+                count_flops(
+                    g * 2 * s_a * (nl * s_l + nr * s_r),
+                    label="factor_telescope",
+                )
+                phat = np.concatenate([top, bot], axis=1)
+                if low:
+                    # low-storage mode releases internal P^ blocks right
+                    # after the parent level; per-node copies keep that
+                    # release effective (a stack would stay pinned by any
+                    # surviving frontier view).
+                    for i, factor in enumerate(factors):
+                        factor.phat = phat[i].copy()
+                else:
+                    stacks.append(phat)
+                    for i, factor in enumerate(factors):
+                        factor.phat = phat[i]
+                    for i, node in enumerate(members):
+                        self._phat_slots[node.id] = (phat, i, factors[i].phat)
+        return pernode, broken
 
     # ------------------------------------------------------------------
     # recovery ladder, rung 1: per-subtree lambda bump (docs/ROBUSTNESS.md)
@@ -455,6 +787,44 @@ class HierarchicalFactorization:
         )
         self.stability.record("reduced", nid, payload["rcond"])
 
+    def _gather_phats(self, nodes: list[Node]) -> np.ndarray:
+        """Children's P^ blocks as one ``(g, n, s)`` stack.
+
+        When every block still sits at its recorded slot in one child
+        level stack (no recovery rewrote it) and the slots step
+        uniformly, this is a strided *view* — no copy at all.  The step
+        may be negative: level node order often stores the right child
+        before the left, and a negative outer stride leaves the
+        per-slice layout (hence the GEMM bit patterns) unchanged.  The
+        fallback copy preserves the blocks' own layout — leaf ``P^``
+        blocks are F-ordered (LAPACK solve outputs), internal ones
+        C-ordered (concatenated telescopes) — because ``np.matmul``
+        results follow operand strides and a layout flip here would
+        silently break bitwise parity with the per-node path.
+        """
+        slots = [self._phat_slots.get(n.id) for n in nodes]
+        first = slots[0]
+        if first is not None and all(
+            s is not None and s[0] is first[0] and self._phat(n) is s[2]
+            for s, n in zip(slots, nodes)
+        ):
+            idx = [s[1] for s in slots]
+            step = idx[1] - idx[0] if len(idx) > 1 else 1
+            if step != 0 and all(b - a == step for a, b in zip(idx, idx[1:])):
+                stop = idx[0] + step * len(idx)
+                # a negative stop means "past the front": only None
+                # expresses that in a slice.
+                return first[0][idx[0] : (stop if stop >= 0 else None) : step]
+        blocks = [self._phat(n) for n in nodes]
+        n, s = blocks[0].shape
+        if all(b.flags.f_contiguous for b in blocks):
+            out = np.empty((len(blocks), s, n)).transpose(0, 2, 1)
+        else:
+            out = np.empty((len(blocks), n, s))
+        for i, block in enumerate(blocks):
+            out[i] = block
+        return out
+
     def _phat(self, node: Node) -> np.ndarray:
         if self.hmatrix.tree.is_leaf(node):
             phat = self.leaf_factors[node.id].phat
@@ -574,10 +944,15 @@ class HierarchicalFactorization:
         rcond = 1.0
         if self.config.method != "hybrid":
             Z = np.eye(size)
+            handled: set[tuple[int, int]] = set()
+            if self._batch_policy is not None and len(frontier) > 1:
+                handled = self._assemble_reduced_batched(
+                    Z, slices, frontier, pair_blocks, self._batch_policy
+                )
             for g in frontier:
                 phat_g = self._phat(g)
                 for f in frontier:
-                    if f.id == g.id:
+                    if f.id == g.id or (f.id, g.id) in handled:
                         continue
                     Z[slices[f.id], slices[g.id]] += pair_blocks[
                         (f.id, g.id)
@@ -605,6 +980,54 @@ class HierarchicalFactorization:
             z_lu=z_lu,
             rcond=rcond,
         )
+
+    def _assemble_reduced_batched(
+        self,
+        Z: np.ndarray,
+        slices: dict[int, slice],
+        frontier: list[Node],
+        pair_blocks: dict[tuple[int, int], KernelSummation],
+        policy: levelbatch.BatchPolicy,
+    ) -> set[tuple[int, int]]:
+        """Stacked assembly of the same-shaped frontier pair products.
+
+        Returns the ``(f.id, g.id)`` pairs it accumulated into ``Z`` so
+        the per-pair loop skips them; the remaining (ragged or cache-
+        declined) pairs keep the matrix-free ``matvec`` path.  The
+        scatter targets are disjoint, so the accumulation is bitwise
+        identical to the per-pair loop regardless of order.
+        """
+        h = self.hmatrix
+        sset = h.skeletons
+        done: set[tuple[int, int]] = set()
+        pairs = [(f, g) for g in frontier for f in frontier if f.id != g.id]
+        groups = levelbatch.group_by_key(
+            pairs,
+            lambda fg: (sset[fg[0].id].rank, fg[1].size, sset[fg[1].id].rank),
+        )
+        for (s_f, ng, s_g), idxs in groups.items():
+            if not policy.worth(
+                len(idxs), s_f * ng + ng * s_g, calls_saved=6
+            ):
+                continue
+            members = [pairs[i] for i in idxs]
+            blocks = h.materialize_blocks(
+                [pair_blocks[(f.id, g.id)] for f, g in members]
+            )
+            keep = [i for i, blk in enumerate(blocks) if blk is not None]
+            if len(keep) < 2:
+                continue
+            K = np.stack([blocks[i] for i in keep])
+            phat_g = np.stack([self._phat(members[i][1]) for i in keep])
+            prod = np.matmul(K, phat_g)
+            n_keep = len(keep)
+            count_flops(n_keep * 2 * s_f * ng * s_g, label="summation_gemv")
+            count_mops(n_keep * (s_f * ng + ng * s_g + s_f * s_g))
+            for pos, i in enumerate(keep):
+                f, g = members[i]
+                Z[slices[f.id], slices[g.id]] += prod[pos]
+                done.add((f.id, g.id))
+        return done
 
     # ------------------------------------------------------------------
     # application
@@ -880,6 +1303,16 @@ def factorize(
     if deadline is None:
         deadline = current_deadline()
     fact = HierarchicalFactorization(hmatrix, lam, config)
+    # level-synchronous batching: the batched path is bitwise identical
+    # to the per-node path (see repro.perf.levelbatch), so this is purely
+    # an execution-strategy choice.  nlog2n's recursive P^ has no stacked
+    # form; it always runs per node.
+    if (
+        config.level_batch
+        and config.method != "nlog2n"
+        and levelbatch.batching_enabled()
+    ):
+        fact._batch_policy = levelbatch.BatchPolicy.current()
     if partial_sink is not None:
         partial_sink.append(fact)
     tree = hmatrix.tree
@@ -926,10 +1359,19 @@ def factorize(
             "factorize.level",
             attrs={"level": level, "nodes": len(by_level[level])},
         ):
-            for node in by_level[level]:
-                if deadline is not None:
-                    deadline.charge(1, f"factorize.node({node.id})")
-                factor_one(node)
+            if fact._batch_policy is not None:
+                fact._factor_level_batched(
+                    by_level[level],
+                    level,
+                    fact._batch_policy,
+                    deadline,
+                    factor_one,
+                )
+            else:
+                for node in by_level[level]:
+                    if deadline is not None:
+                        deadline.charge(1, f"factorize.node({node.id})")
+                    factor_one(node)
         fact.completed_levels.add(level)
         if on_level is not None:
             on_level(level, fact)

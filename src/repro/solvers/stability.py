@@ -20,7 +20,12 @@ from repro.exceptions import StabilityError, StabilityWarning
 from repro.obs import emit_warning, registry
 from repro.util import lapack
 
-__all__ = ["StabilityReport", "estimate_rcond", "is_breakdown"]
+__all__ = [
+    "StabilityReport",
+    "estimate_rcond",
+    "estimate_rcond_batched",
+    "is_breakdown",
+]
 
 
 def is_breakdown(rcond: float, rcond_breakdown: float) -> bool:
@@ -49,6 +54,20 @@ def estimate_rcond(lu: np.ndarray, anorm: float) -> float:
     if info < 0:  # pragma: no cover - lapack argument error
         raise StabilityError(f"dgecon failed with info={info}")
     return float(rcond)
+
+
+def estimate_rcond_batched(lu: np.ndarray, anorms: np.ndarray) -> np.ndarray:
+    """Per-slice rcond estimates for a factored ``(b, n, n)`` stack.
+
+    Bitwise equal to calling :func:`estimate_rcond` on each slice, but
+    the whole stack runs under a single lock acquisition.
+    """
+    if lu.size == 0:
+        return np.ones(lu.shape[0])
+    try:
+        return lapack.gecon_batched(lu, anorms)
+    except ValueError as exc:  # pragma: no cover - lapack argument error
+        raise StabilityError(str(exc)) from exc
 
 
 @dataclass
