@@ -36,6 +36,7 @@ from repro.exceptions import (
     CheckpointError,
     ConfigurationError,
     DeadlineExceededError,
+    OverloadedError,
     ReproError,
     StabilityError,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "EXIT_NUMERICAL",
     "EXIT_DEADLINE",
     "EXIT_CHECKPOINT",
+    "EXIT_OVERLOADED",
 ]
 
 # Distinct exit codes so shell callers (and the CI smoke jobs) can tell
@@ -60,6 +62,7 @@ EXIT_USAGE = 2       # bad arguments or configuration
 EXIT_NUMERICAL = 3   # StabilityError: factorization/solve not salvageable
 EXIT_DEADLINE = 4    # DeadlineExceededError with degradation disabled
 EXIT_CHECKPOINT = 5  # CheckpointError: missing/corrupt/mismatched snapshot
+EXIT_OVERLOADED = 6  # OverloadedError: the serving layer shed the request
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +163,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute payload checksums; exit 5 if any payload is corrupt",
     )
     p_verify.add_argument("dir", help="checkpoint directory")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived solver daemon: resident factorization registry "
+             "with request coalescing (docs/SERVING.md)",
+    )
+    p_serve.add_argument("--warm", action="append", default=[], metavar="DIR",
+                         help="checkpoint directory to warm-load at startup "
+                              "(repeatable)")
+    p_serve.add_argument("--lam", type=float, default=None,
+                         help="regularization used to factorize warm-loaded "
+                              "checkpoints that hold no factorized state")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral; the bound port is "
+                              "printed on startup)")
+    p_serve.add_argument("--window-ms", type=float, default=5.0,
+                         help="coalescing window in milliseconds")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="max RHS columns stacked into one batched solve")
+    p_serve.add_argument("--max-pending", type=int, default=1024,
+                         help="admission bound on in-flight requests; beyond "
+                              "it requests are shed (status code 6)")
+    p_serve.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                         help="default per-request wall-clock deadline")
+    p_serve.add_argument("--work-budget", type=int, default=None,
+                         metavar="UNITS",
+                         help="default per-request work-unit budget")
+    p_serve.add_argument("--budget-mwords", type=float, default=None,
+                         help="registry word budget in millions of float64 "
+                              "words; LRU residents are evicted to fit")
+    p_serve.add_argument("--health-out", metavar="PATH", default=None,
+                         help="write the final repro.serve/v1 health blob "
+                              "here at shutdown (CI artifact)")
 
     sub.add_parser("info", help="list datasets and their Table II parameters")
     return parser
@@ -334,6 +371,31 @@ def _cmd_checkpoint(args) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve``: run the solver daemon (docs/SERVING.md)."""
+    from repro.serve import ModelRegistry, ServeConfig, SolverService, run_daemon
+
+    budget_words = (
+        int(args.budget_mwords * 1e6) if args.budget_mwords is not None else None
+    )
+    config = ServeConfig(
+        window_seconds=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        deadline_seconds=args.deadline,
+        work_budget=args.work_budget,
+        registry_budget_words=budget_words,
+    )
+    service = SolverService(config, registry=ModelRegistry(budget_words))
+    for directory in args.warm:
+        fingerprint = service.registry.load(directory, lam=args.lam)
+        print(f"warm-loaded {fingerprint[:12]} from {directory}")
+    run_daemon(
+        service, host=args.host, port=args.port, health_out=args.health_out
+    )
+    return EXIT_OK
+
+
 def _cmd_info(_args) -> int:
     print(f"{'dataset':<10} {'d':>5} {'h':>6} {'lambda':>8} {'paper N':>10} {'paper Acc':>10}")
     for name in DATASET_NAMES:
@@ -348,6 +410,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "classify": _cmd_classify,
     "checkpoint": _cmd_checkpoint,
+    "serve": _cmd_serve,
     "info": _cmd_info,
 }
 
@@ -368,6 +431,9 @@ def main(argv: list[str] | None = None) -> int:
     except StabilityError as exc:
         print(f"repro: numerical failure: {exc}", file=sys.stderr)
         return EXIT_NUMERICAL
+    except OverloadedError as exc:
+        print(f"repro: overloaded: {exc}", file=sys.stderr)
+        return EXIT_OVERLOADED
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return EXIT_ERROR

@@ -105,6 +105,12 @@ class FastKernelSolver:
         #: only when ``solver_config.recovery.enabled``).
         self.health: SolverHealth | None = None
         self.times = StageTimes()
+        #: metric-attribution label (see :meth:`scope_telemetry`).  When
+        #: set, every series this solver's work emits carries a
+        #: ``solver=<label>`` label and :meth:`telemetry` reports only
+        #: this solver's series — two resident solvers in one process no
+        #: longer interleave (docs/OBSERVABILITY.md).
+        self.telemetry_label: str | None = None
         self._X: np.ndarray | None = None
         self._X_norms: np.ndarray | None = None
         #: pipeline deadline (created at fit() from solver_config.resilience;
@@ -134,6 +140,44 @@ class FastKernelSolver:
         return config_fingerprint(
             self._X, self.kernel, self.tree_config, self.skeleton_config
         )
+
+    def fingerprint(self) -> str:
+        """The ``repro.checkpoint/v1`` config fingerprint of this solver.
+
+        sha256 over (data, kernel, tree/skeleton configs) — the identity
+        under which checkpoints are written and the serving registry
+        keys resident models.  Requires :meth:`fit`.
+        """
+        self._require_fitted()
+        return self._fingerprint()
+
+    # ------------------------------------------------------------------
+    # per-solver telemetry attribution (docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+    def scope_telemetry(self, label: str | None = None) -> str:
+        """Attribute this solver's metric series to a per-solver label.
+
+        Without attribution, every solver publishes into the same
+        process-global series names, so two resident solvers in one
+        daemon interleave each other's GMRES/recovery/stability
+        counters.  After this call, work done through this facade runs
+        under :func:`repro.obs.label_scope`\\ ``(solver=label)`` and
+        :meth:`telemetry` returns only series attributed to this solver
+        (plus the shared, unattributed ones).
+
+        ``label`` defaults to the first 12 hex chars of
+        :meth:`fingerprint` (requires :meth:`fit`); pass an explicit
+        label to scope an unfitted solver.  Returns the label.
+        """
+        if label is None:
+            label = self.fingerprint()[:12]
+        self.telemetry_label = str(label)
+        return self.telemetry_label
+
+    def _metric_scope(self):
+        from repro.obs import label_scope
+
+        return label_scope(solver=self.telemetry_label)
 
     def _open_checkpoint(self, mode: str = "write") -> Checkpoint | None:
         res = self.solver_config.resilience
@@ -182,7 +226,7 @@ class FastKernelSolver:
         self._X = X
         self._X_norms = self.kernel.prepare_norms(X)
         self._deadline = self._make_deadline()
-        with Timer() as t, deadline_scope(self._deadline):
+        with self._metric_scope(), Timer() as t, deadline_scope(self._deadline):
             self.hmatrix = build_hmatrix(
                 X,
                 self.kernel,
@@ -226,7 +270,7 @@ class FastKernelSolver:
         self._require_fitted()
         res = self.solver_config.resilience
         if not res.active:
-            with self.times.time("factorize"):
+            with self._metric_scope(), self.times.time("factorize"):
                 if self.solver_config.recovery.enabled:
                     self.factorization, self.health = robust_factorize(
                         self.hmatrix, lam, self.solver_config
@@ -247,7 +291,9 @@ class FastKernelSolver:
                 **{k: v for k, v in ev.items() if k != "stage"},
             )
         cp = self._open_checkpoint("write")
-        with self.times.time("factorize"), deadline_scope(self._deadline):
+        with self._metric_scope(), self.times.time("factorize"), deadline_scope(
+            self._deadline
+        ):
             self.factorization, self.health = resilient_factorize(
                 self.hmatrix,
                 lam,
@@ -274,7 +320,9 @@ class FastKernelSolver:
         """
         self._require_factorized()
         u = check_vector(u, self.n_points)
-        with self.times.time("solve"), deadline_scope(self._solve_deadline()):
+        with self._metric_scope(), self.times.time("solve"), deadline_scope(
+            self._solve_deadline()
+        ):
             w = self.factorization.solve(self._to_tree(u))
         return self._from_tree(w)
 
@@ -288,18 +336,21 @@ class FastKernelSolver:
         self._require_factorized()
         fact = self.factorization
         before = len(fact.reduced_iterations)
-        if self.health is not None:
-            u_tree = self._to_tree(check_vector(u, self.n_points))
-            with self.times.time("solve"), deadline_scope(self._solve_deadline()):
+        # validate and permute once; both the recovery and plain paths
+        # (and the residual below) reuse the same tree-order vectors.
+        u_tree = self._to_tree(check_vector(u, self.n_points))
+        with self._metric_scope(), self.times.time("solve"), deadline_scope(
+            self._solve_deadline()
+        ):
+            if self.health is not None:
                 w_tree, self.health = robust_solve(
                     fact, u_tree, self.solver_config, self.health
                 )
-            w = self._from_tree(w_tree)
-        else:
-            w = self.solve(u)
-            u_tree = self._to_tree(check_vector(u, self.n_points))
+            else:
+                w_tree = fact.solve(u_tree)
+        w = self._from_tree(w_tree)
         info = SolveInfo(
-            residual=fact.residual(u_tree, self._to_tree(w)),
+            residual=fact.residual(u_tree, w_tree),
             gmres_iterations=sum(fact.reduced_iterations[before:]),
             stable=fact.stability.is_stable,
             health=self.health,
@@ -486,12 +537,22 @@ class FastKernelSolver:
         fabric faults, GMRES, recovery, warnings), this solver's stage
         accumulators, and the recovery-health digest when armed.  See
         docs/OBSERVABILITY.md for the schema.
+
+        When :meth:`scope_telemetry` has attributed this solver, the
+        metric section contains only this solver's series plus the
+        shared unattributed ones — two resident solvers in one process
+        report disjoint, uncontaminated blobs.
         """
         from repro.obs import telemetry_snapshot
 
         if self.hmatrix is not None:
             self.hmatrix.cache.publish()
-        blob = telemetry_snapshot()
+        scope = (
+            {"solver": self.telemetry_label}
+            if self.telemetry_label is not None
+            else None
+        )
+        blob = telemetry_snapshot(scope=scope)
         blob["stages"] = dict(self.times.stages)
         if self.health is not None:
             blob["health"] = self.health.summary()

@@ -23,6 +23,7 @@ __all__ = [
     "DeadlineExceededError",
     "BudgetExhaustedError",
     "CheckpointError",
+    "OverloadedError",
 ]
 
 
@@ -113,6 +114,19 @@ class CheckpointError(ReproError, RuntimeError):
     Raised on schema/config-fingerprint mismatches, payload checksum
     failures, and truncated or missing payload files — loading never
     silently produces a solver built from the wrong state.
+    """
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The serving layer shed this request to protect resident work.
+
+    Raised by :class:`repro.serve.SolverService` admission control when
+    the pending-request queue is full (or a model will not fit the
+    registry budget).  Distinct from :class:`DeadlineExceededError`:
+    the request was refused *before* any work was spent on it, so the
+    client can safely retry against another replica or after backoff.
+    The CLI/daemon map it to exit/status code
+    :data:`repro.cli.EXIT_OVERLOADED`.
     """
 
 

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
 from repro.kernels.gsks import GSKSWorkspace, gsks_matvec
 from repro.util.flops import count_flops, count_mops
@@ -65,8 +66,11 @@ class KernelSummation:
         only when needed and not supplied.
     cache, cache_key:
         Optional :class:`~repro.perf.BlockCache` and key under which a
-        PRECOMPUTED dense block is stored.  Without a cache the block is
-        computed eagerly and held on the object (seed behavior).
+        PRECOMPUTED dense block is stored; both must be supplied
+        together (a half-specified pair raises
+        :class:`~repro.exceptions.ConfigurationError`).  Without a
+        cache the block is computed eagerly and held on the object
+        (seed behavior).
     """
 
     def __init__(
@@ -89,8 +93,17 @@ class KernelSummation:
         self.shape = (self.XA.shape[0], self.XB.shape[0])
         self._workspace = workspace
         self._matrix: np.ndarray | None = None
-        self._cache = cache if cache_key is not None else None
-        self._cache_key = cache_key if cache is not None else None
+        if (cache is None) != (cache_key is None):
+            # a half-specified pair used to silently disable caching —
+            # the caller asked for caching and got the eager/matrix-free
+            # path instead, with no signal anything was wrong.
+            raise ConfigurationError(
+                "cache and cache_key must be supplied together; got "
+                f"cache={'set' if cache is not None else None}, "
+                f"cache_key={cache_key!r}"
+            )
+        self._cache = cache
+        self._cache_key = cache_key
         self._norms_a = norms_a if kernel.uses_distances else None
         self._norms_b = norms_b if kernel.uses_distances else None
         needs_norms = kernel.uses_distances and (

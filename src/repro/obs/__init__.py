@@ -27,6 +27,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    current_label_scope,
+    label_scope,
     registry,
     set_registry,
 )
@@ -40,7 +42,9 @@ __all__ = [
     "RateLimiter",
     "Span",
     "Tracer",
+    "current_label_scope",
     "emit_warning",
+    "label_scope",
     "get_logger",
     "registry",
     "render_trace",

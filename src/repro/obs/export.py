@@ -35,16 +35,27 @@ def telemetry_snapshot(
     *,
     metrics: MetricsRegistry | None = None,
     trace: Tracer | None = None,
+    scope: dict[str, str] | None = None,
 ) -> dict:
-    """The process's telemetry as one JSON-serializable dict."""
+    """The process's telemetry as one JSON-serializable dict.
+
+    ``scope`` restricts the metric series per
+    :meth:`MetricsRegistry.snapshot` — e.g. ``{"solver": fp}`` keeps
+    one resident solver's attributed series plus the shared unlabeled
+    ones.  Spans stay process-wide (the span tree has no per-series
+    labels); a scoped blob records its scope under ``"scope"``.
+    """
     reg = metrics if metrics is not None else registry()
     tr = trace if trace is not None else tracer()
     _publish_default_cache(reg)
-    return {
+    blob = {
         "schema": SCHEMA,
         "spans": tr.tree(),
-        "metrics": reg.snapshot(),
+        "metrics": reg.snapshot(scope=scope),
     }
+    if scope:
+        blob["scope"] = dict(scope)
+    return blob
 
 
 def render_trace(

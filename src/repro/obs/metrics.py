@@ -15,6 +15,8 @@ hot-path increments never contend on the registry lock.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import os
 import threading
 import weakref
@@ -25,6 +27,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "current_label_scope",
+    "label_scope",
     "registry",
     "set_registry",
 ]
@@ -32,6 +36,67 @@ __all__ = [
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+# ------------------------------------------------------------------
+# label scoping: attribute series to the entity doing the work
+# ------------------------------------------------------------------
+# A long-lived process serving several resident solvers emits the same
+# metric names (gmres.iterations, recovery.events, ...) on behalf of
+# different models; without attribution the series interleave and the
+# per-model health endpoint cannot tell them apart.  label_scope()
+# installs extra labels for the current (thread's) context; the handle
+# factories below fold them into every series created inside the scope.
+# Explicit labels at the call site win over scope labels of the same
+# name.  Scopes nest (inner scope wins per key) and, like the deadline
+# ContextVar, do not cross thread spawns — executors re-install.
+_scope: contextvars.ContextVar[tuple[tuple[str, str], ...]] = contextvars.ContextVar(
+    "repro_metric_labels", default=()
+)
+
+
+def current_label_scope() -> dict[str, str]:
+    """The labels installed by the innermost :func:`label_scope`."""
+    return dict(_scope.get())
+
+
+@contextlib.contextmanager
+def label_scope(**labels: str):
+    """Attach ``labels`` to every metric series created in the block.
+
+    ``label_scope()`` with no labels (or all-None values) installs
+    nothing, so call sites can scope unconditionally.
+    """
+    labels = {str(k): str(v) for k, v in labels.items() if v is not None}
+    if not labels:
+        yield
+        return
+    merged = dict(_scope.get())
+    merged.update(labels)
+    token = _scope.set(tuple(sorted(merged.items())))
+    try:
+        yield
+    finally:
+        _scope.reset(token)
+
+
+def _apply_scope(labels: dict[str, str]) -> dict[str, str]:
+    scope = _scope.get()
+    if not scope:
+        return labels
+    merged = dict(scope)
+    merged.update(labels)
+    return merged
+
+
+def _scope_match(labels: dict[str, str], scope: dict[str, str]) -> bool:
+    """True when ``labels`` is compatible with a snapshot ``scope``:
+    for every scope key the series either matches or is unattributed."""
+    for key, value in scope.items():
+        theirs = labels.get(key)
+        if theirs is not None and theirs != str(value):
+            return False
+    return True
 
 
 class _Series:
@@ -156,7 +221,11 @@ class MetricsRegistry:
         _instances.add(self)
 
     # -- handle factories (memoized per name+labels) ---------------------
+    # each factory folds in the ambient label_scope(), so deep emit
+    # sites need no knowledge of who (which resident solver) they are
+    # working for.
     def counter(self, name: str, **labels: str) -> Counter:
+        labels = _apply_scope(labels)
         key = (name, _label_key(labels))
         with self._lock:
             handle = self._counters.get(key)
@@ -165,6 +234,7 @@ class MetricsRegistry:
             return handle
 
     def gauge(self, name: str, **labels: str) -> Gauge:
+        labels = _apply_scope(labels)
         key = (name, _label_key(labels))
         with self._lock:
             handle = self._gauges.get(key)
@@ -173,6 +243,7 @@ class MetricsRegistry:
             return handle
 
     def histogram(self, name: str, **labels: str) -> Histogram:
+        labels = _apply_scope(labels)
         key = (name, _label_key(labels))
         with self._lock:
             handle = self._histograms.get(key)
@@ -182,8 +253,12 @@ class MetricsRegistry:
 
     # -- queries ---------------------------------------------------------
     def value(self, name: str, **labels: str) -> int | float:
-        """Current value of a counter or gauge series (0 if absent)."""
-        key = (name, _label_key(labels))
+        """Current value of a counter or gauge series (0 if absent).
+
+        The ambient :func:`label_scope` applies here too, so code reads
+        back exactly the series it would have written.
+        """
+        key = (name, _label_key(_apply_scope(labels)))
         with self._lock:
             handle = self._counters.get(key) or self._gauges.get(key)
         return handle.value if handle is not None else 0
@@ -204,25 +279,35 @@ class MetricsRegistry:
             totals[name] = totals.get(name, 0) + handle.value
         return totals
 
-    def _grouped(self, handles: Iterable[tuple[tuple, _Series]], value_of):
+    def _grouped(self, handles: Iterable[tuple[tuple, _Series]], value_of, scope):
         out: dict[str, list[dict]] = {}
         for (name, _), handle in sorted(handles, key=lambda kv: kv[0]):
+            if scope and not _scope_match(handle.labels, scope):
+                continue
             entry: dict = {"value": value_of(handle)}
             if handle.labels:
                 entry["labels"] = dict(handle.labels)
             out.setdefault(name, []).append(entry)
         return out
 
-    def snapshot(self) -> dict:
-        """JSON-ready dump of every series, grouped by metric name."""
+    def snapshot(self, *, scope: dict[str, str] | None = None) -> dict:
+        """JSON-ready dump of every series, grouped by metric name.
+
+        ``scope`` restricts the dump per label key: a series is kept
+        when, for every ``key: value`` in ``scope``, it either carries
+        ``key=value`` or does not carry ``key`` at all.  That is the
+        per-solver telemetry contract — ``scope={"solver": fp}`` keeps
+        that solver's attributed series plus the shared process-global
+        ones, and drops series attributed to *other* solvers.
+        """
         with self._lock:
             counters = list(self._counters.items())
             gauges = list(self._gauges.items())
             histograms = list(self._histograms.items())
         return {
-            "counters": self._grouped(counters, lambda h: h.value),
-            "gauges": self._grouped(gauges, lambda h: h.value),
-            "histograms": self._grouped(histograms, lambda h: h.summary()),
+            "counters": self._grouped(counters, lambda h: h.value, scope),
+            "gauges": self._grouped(gauges, lambda h: h.value, scope),
+            "histograms": self._grouped(histograms, lambda h: h.summary(), scope),
         }
 
     def merge_snapshot(self, snap: dict, **extra_labels: str) -> None:

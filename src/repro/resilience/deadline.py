@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import threading
 import time
 from dataclasses import dataclass
 
@@ -58,6 +59,20 @@ class WorkBudget:
             raise ValueError(f"work budget limit must be >= 0; got {limit}")
         self.limit = limit
         self.used = 0
+        # concurrent solves against one resident solver charge the same
+        # budget; an unlocked `used += units` loses updates under
+        # threads, silently inflating the budget.
+        self._lock = threading.Lock()
+
+    # -- pickling: locks are not picklable; recreate on load -------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def exhausted(self) -> bool:
@@ -70,10 +85,12 @@ class WorkBudget:
 
     def charge(self, units: int = 1, where: str = "") -> None:
         """Consume ``units``; raise once the budget is exhausted."""
-        self.used += units
-        if self.exhausted:
+        with self._lock:
+            self.used += units
+            used = self.used
+        if self.limit is not None and used >= self.limit:
             raise BudgetExhaustedError(
-                f"work budget exhausted ({self.used}/{self.limit} units"
+                f"work budget exhausted ({used}/{self.limit} units"
                 + (f" at {where}" if where else "")
                 + ")"
             )

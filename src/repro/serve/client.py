@@ -1,0 +1,141 @@
+"""Minimal synchronous client for the ``repro serve`` daemon.
+
+One TCP connection, newline-delimited JSON requests/responses (see
+:mod:`repro.serve.daemon` for the protocol).  The client is
+intentionally dependency-free — tests and the CI smoke script use it,
+and it doubles as executable protocol documentation.
+
+A :class:`ServeClient` is **not** thread-safe; concurrent clients (the
+whole point of the coalescer) should each open their own connection,
+exactly like real network clients would.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    StabilityError,
+)
+
+__all__ = ["ServeClient", "RemoteServeError"]
+
+_STATUS_EXCEPTIONS = {
+    "overloaded": OverloadedError,
+    "deadline": DeadlineExceededError,
+    "usage": ConfigurationError,
+    "checkpoint": CheckpointError,
+    "numerical": StabilityError,
+}
+
+
+class RemoteServeError(ReproError):
+    """A daemon-side failure that maps to no specific local exception."""
+
+    def __init__(self, message: str, *, status: str = "error", code: int = 1):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _raise_remote(response: dict) -> None:
+    status = response.get("status", "error")
+    message = response.get("error", "remote error")
+    exc_type = _STATUS_EXCEPTIONS.get(status)
+    if exc_type is not None:
+        raise exc_type(message)
+    raise RemoteServeError(
+        message, status=status, code=int(response.get("code", 1))
+    )
+
+
+class ServeClient:
+    """Blocking JSON-lines client; raises typed exceptions on failure."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the (ok) response object."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("serve daemon closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            _raise_remote(response)
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"})["ok"])
+
+    def solve(
+        self,
+        rhs,
+        *,
+        model: str | None = None,
+        info: bool = False,
+        deadline: float | None = None,
+        work_budget: int | None = None,
+    ) -> dict:
+        """Solve against a resident model; returns the response payload
+        with ``w`` converted to an ndarray."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        payload: dict = {"op": "solve", "rhs": rhs.tolist(), "info": info}
+        if model is not None:
+            payload["model"] = model
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if work_budget is not None:
+            payload["work_budget"] = work_budget
+        response = self.request(payload)
+        if "columns" in response:
+            for column in response["columns"]:
+                column["w"] = np.asarray(column["w"], dtype=np.float64)
+        else:
+            response["w"] = np.asarray(response["w"], dtype=np.float64)
+        return response
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})["health"]
+
+    def models(self) -> list[str]:
+        return list(self.request({"op": "models"})["models"])
+
+    def load(self, directory: str, *, lam: float | None = None) -> str:
+        payload: dict = {"op": "load", "dir": str(directory)}
+        if lam is not None:
+            payload["lam"] = lam
+        return self.request(payload)["model"]
+
+    def evict(self, model: str) -> bool:
+        return bool(self.request({"op": "evict", "model": model})["evicted"])
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,76 @@
+"""Configuration for the serving layer (docs/SERVING.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of :class:`repro.serve.SolverService`.
+
+    Attributes
+    ----------
+    window_seconds:
+        Coalescing window: the first single-RHS request against a
+        resident model opens a batch; requests for the same model that
+        arrive within this window join it.  The batch flushes at the
+        window's close or as soon as ``max_batch`` columns are queued,
+        whichever comes first.  ``0`` still coalesces requests that are
+        already waiting when the flusher wakes, but adds no deliberate
+        latency.
+    max_batch:
+        Maximum columns stacked into one batched solve.
+    max_pending:
+        Admission-control bound on requests in flight (queued or
+        solving) per service.  Request ``max_pending + 1`` is shed with
+        :class:`~repro.exceptions.OverloadedError` — the caller paid
+        nothing and can retry elsewhere.
+    deadline_seconds / work_budget:
+        Per-request defaults for the :class:`repro.resilience.Deadline`
+        (wall clock) and :class:`~repro.resilience.WorkBudget`
+        (deterministic units) admission derives for every request;
+        request-level overrides win.  ``None`` = unlimited.
+    registry_budget_words:
+        Word budget of the :class:`repro.serve.ModelRegistry` — the
+        BlockCache discipline applied to whole resident models:
+        least-recently-used residents are evicted to fit a new one, and
+        a model larger than the whole budget is refused outright.
+        ``None`` = unbounded.
+    """
+
+    window_seconds: float = 0.005
+    max_batch: int = 32
+    max_pending: int = 1024
+    deadline_seconds: float | None = None
+    work_budget: int | None = None
+    registry_budget_words: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_seconds < 0:
+            raise ConfigurationError(
+                f"window_seconds must be >= 0; got {self.window_seconds}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1; got {self.max_batch}")
+        if self.max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1; got {self.max_pending}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be > 0; got {self.deadline_seconds}"
+            )
+        if self.work_budget is not None and self.work_budget < 1:
+            raise ConfigurationError(
+                f"work_budget must be >= 1; got {self.work_budget}"
+            )
+        if self.registry_budget_words is not None and self.registry_budget_words < 0:
+            raise ConfigurationError(
+                "registry_budget_words must be >= 0 or None; got "
+                f"{self.registry_budget_words}"
+            )

@@ -1,0 +1,280 @@
+"""Resident-factorization registry: the expensive artifact, kept warm.
+
+The whole economic argument of the paper is that the O(N log N)
+factorization is paid once and amortized over many cheap solves — yet
+every CLI entry point used to rebuild it per invocation.
+:class:`ModelRegistry` keeps factorized :class:`FastKernelSolver`
+instances *resident*, keyed by their ``repro.checkpoint/v1``
+``config_fingerprint`` (the same identity under which checkpoints are
+written, so a checkpoint directory and a live model for the same
+problem are interchangeable), and warm-loads models from checkpoint
+directories via :meth:`FastKernelSolver.resume`.
+
+Memory is governed by the BlockCache budget discipline applied at
+model granularity: a word budget caps the summed persistent storage of
+all residents, admission evicts least-recently-used residents to make
+room, and a model that alone exceeds the budget is refused
+(:class:`~repro.exceptions.OverloadedError`) rather than silently
+evicting everything else.
+
+Every admitted model is telemetry-scoped
+(:meth:`FastKernelSolver.scope_telemetry`), so the health endpoint can
+report a per-model ``repro.telemetry/v1`` blob without the residents
+interleaving each other's metric series.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.solver import FastKernelSolver
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    NotFactorizedError,
+    OverloadedError,
+)
+from repro.obs import registry as metrics_registry
+
+__all__ = ["ModelRegistry", "ResidentModel"]
+
+
+@dataclass
+class ResidentModel:
+    """One factorized solver held resident by the registry."""
+
+    fingerprint: str
+    solver: FastKernelSolver
+    #: "registered" for in-process admissions, else the checkpoint path.
+    source: str
+    #: persistent float64 words (H-matrix + factorization) — the unit
+    #: the registry budget is charged in.
+    storage_words: int
+    #: solve batches served through this resident (registry-lock guarded).
+    solves: int = field(default=0)
+
+    def describe(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "storage_words": self.storage_words,
+            "solves": self.solves,
+            "n_points": self.solver.n_points,
+            "lam": getattr(self.solver.factorization, "lam", None),
+        }
+
+
+def _model_words(solver: FastKernelSolver) -> int:
+    words = solver.hmatrix.storage_words()
+    if solver.factorization is not None:
+        words += solver.factorization.storage_words()
+    return int(words)
+
+
+class ModelRegistry:
+    """LRU registry of resident factorized solvers, keyed by fingerprint.
+
+    Parameters
+    ----------
+    budget_words:
+        Word budget over the summed ``storage_words`` of all residents
+        (``None`` = unbounded).  Enforced on admission, BlockCache
+        style: evict LRU residents until the newcomer fits; refuse a
+        newcomer that cannot fit an empty registry.
+
+    Thread safety: every method is safe to call concurrently; the lock
+    covers the resident table and counters, never a solve (callers hold
+    plain references to :class:`ResidentModel` while solving, so an
+    eviction during a solve only prevents *future* lookups).
+    """
+
+    def __init__(self, budget_words: int | None = None) -> None:
+        if budget_words is not None and budget_words < 0:
+            raise ConfigurationError(
+                f"budget_words must be >= 0 or None; got {budget_words}"
+            )
+        self.budget_words = budget_words
+        self._lock = threading.Lock()
+        self._models: "OrderedDict[str, ResidentModel]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def register(
+        self, solver: FastKernelSolver, *, source: str = "registered"
+    ) -> str:
+        """Admit a fitted+factorized solver; returns its fingerprint.
+
+        Re-registering the same fingerprint replaces the resident (the
+        new factorization may carry a different ``lam``).
+        """
+        if solver.hmatrix is None:
+            raise ConfigurationError("register() requires a fitted solver")
+        if solver.factorization is None:
+            raise NotFactorizedError(
+                "register() requires a factorized solver — the registry "
+                "exists to amortize the factorization, not to rebuild it"
+            )
+        fingerprint = solver.fingerprint()
+        solver.scope_telemetry(fingerprint[:12])
+        words = _model_words(solver)
+        model = ResidentModel(
+            fingerprint=fingerprint,
+            solver=solver,
+            source=source,
+            storage_words=words,
+        )
+        reg = metrics_registry()
+        with self._lock:
+            if self.budget_words is not None and words > self.budget_words:
+                raise OverloadedError(
+                    f"model {fingerprint[:12]} needs {words} words but the "
+                    f"registry budget is {self.budget_words}; refusing to "
+                    "evict every other resident for a model that cannot fit"
+                )
+            old = self._models.pop(fingerprint, None)
+            if self.budget_words is not None:
+                while (
+                    self._resident_words() + words > self.budget_words
+                    and self._models
+                ):
+                    evicted_fp, _ = self._models.popitem(last=False)
+                    self._evictions += 1
+                    reg.counter("serve.registry.evictions").inc()
+            self._models[fingerprint] = model
+            if old is None:
+                reg.counter("serve.registry.loads").inc()
+            reg.gauge("serve.registry.residents").set(len(self._models))
+            reg.gauge("serve.registry.words").set(self._resident_words())
+        return fingerprint
+
+    def load(self, checkpoint_dir: str, *, lam: float | None = None) -> str:
+        """Warm-load a model from a ``repro.checkpoint/v1`` directory.
+
+        Uses :meth:`FastKernelSolver.resume`; when the checkpoint holds
+        no factorized ``state`` payload (the writer was killed before
+        :meth:`save_checkpoint`, or only per-level snapshots exist),
+        ``lam`` selects the factorization to (re)build — resuming from
+        whatever completed levels the checkpoint holds.
+        """
+        solver = FastKernelSolver.resume(checkpoint_dir)
+        if solver.factorization is None:
+            if lam is None:
+                raise CheckpointError(
+                    f"checkpoint at {checkpoint_dir} holds no factorized "
+                    "state; pass lam= to factorize on load"
+                )
+            solver.factorize(lam)
+        return self.register(solver, source=str(checkpoint_dir))
+
+    # ------------------------------------------------------------------
+    # lookup / lifecycle
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> ResidentModel:
+        """The resident for ``fingerprint`` (LRU-touched); KeyError if absent."""
+        reg = metrics_registry()
+        with self._lock:
+            model = self._models.get(fingerprint)
+            if model is None:
+                self._misses += 1
+                reg.counter("serve.registry.misses").inc()
+                raise KeyError(
+                    f"no resident model {fingerprint!r} "
+                    f"(residents: {[f[:12] for f in self._models]})"
+                )
+            self._models.move_to_end(fingerprint)
+            self._hits += 1
+            reg.counter("serve.registry.hits").inc()
+            return model
+
+    def peek(self, fingerprint: str) -> ResidentModel:
+        """Lookup without LRU touch or hit/miss accounting.
+
+        The coalescer flush path uses this: the request already counted
+        its hit at admission, and a flush must not re-order the LRU
+        under the admissions that funded it.
+        """
+        with self._lock:
+            model = self._models.get(fingerprint)
+            if model is None:
+                raise KeyError(
+                    f"resident model {fingerprint!r} was evicted mid-flight"
+                )
+            return model
+
+    def resolve(self, fingerprint: str | None) -> str:
+        """Resolve ``None``/a unique prefix to a full resident fingerprint.
+
+        ``None`` selects the sole resident (errors when the registry
+        holds zero or several models — the client must then name one).
+        """
+        with self._lock:
+            if fingerprint is None:
+                if len(self._models) != 1:
+                    raise KeyError(
+                        "model fingerprint required: registry holds "
+                        f"{len(self._models)} residents"
+                    )
+                return next(iter(self._models))
+            if fingerprint in self._models:
+                return fingerprint
+            matches = [f for f in self._models if f.startswith(fingerprint)]
+            if len(matches) == 1:
+                return matches[0]
+            raise KeyError(
+                f"no unique resident matches {fingerprint!r} "
+                f"({len(matches)} candidates)"
+            )
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop a resident; True if it was present."""
+        with self._lock:
+            model = self._models.pop(fingerprint, None)
+            if model is not None:
+                self._evictions += 1
+                reg = metrics_registry()
+                reg.counter("serve.registry.evictions").inc()
+                reg.gauge("serve.registry.residents").set(len(self._models))
+                reg.gauge("serve.registry.words").set(self._resident_words())
+            return model is not None
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return list(self._models)
+
+    def models(self) -> list[ResidentModel]:
+        with self._lock:
+            return list(self._models.values())
+
+    def count_solve(self, fingerprint: str) -> None:
+        with self._lock:
+            model = self._models.get(fingerprint)
+            if model is not None:
+                model.solves += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def _resident_words(self) -> int:
+        return sum(m.storage_words for m in self._models.values())
+
+    def stats(self) -> dict:
+        """JSON-friendly registry digest for the health endpoint."""
+        with self._lock:
+            return {
+                "residents": len(self._models),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "resident_words": self._resident_words(),
+                "budget_words": self.budget_words,
+                "models": {
+                    fp: m.describe() for fp, m in self._models.items()
+                },
+            }

@@ -1,0 +1,276 @@
+"""In-process solver service: registry + coalescer + admission control.
+
+:class:`SolverService` is the daemon's brain, fully testable without a
+socket: it owns a :class:`~repro.serve.ModelRegistry` of resident
+factorized solvers and a :class:`~repro.serve.RequestCoalescer`, and
+every :meth:`solve` call goes through
+
+1. **resolution** — map the caller's (possibly abbreviated, possibly
+   omitted) model fingerprint to a resident;
+2. **admission control** — reject with
+   :class:`~repro.exceptions.OverloadedError` when ``max_pending``
+   requests are already in flight, *before* any memory or queue slot is
+   consumed; derive the request's
+   :class:`~repro.resilience.Deadline` / work budget from
+   :class:`~repro.serve.ServeConfig` defaults (request overrides win);
+3. **coalescing** — single-RHS requests wait up to ``window_seconds``
+   to share a batched ``gmres_batched`` solve with concurrent requests
+   against the same resident (multi-RHS requests are already batches
+   and run directly);
+4. **scatter** — each caller gets its own column back, with optional
+   per-column residual/iteration diagnostics.
+
+:meth:`health` returns the ``repro.serve/v1`` blob the daemon serves:
+registry + coalescer + admission state, plus a per-resident
+``repro.telemetry/v1`` blob (scoped to that solver's metric series via
+:meth:`FastKernelSolver.scope_telemetry`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.exceptions import OverloadedError
+from repro.obs import registry as metrics_registry
+from repro.resilience import Deadline, WorkBudget, deadline_scope
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.config import ServeConfig
+from repro.serve.registry import ModelRegistry
+from repro.util.validation import check_vector
+
+__all__ = ["SolverService", "ServeResult", "SERVE_SCHEMA"]
+
+SERVE_SCHEMA = "repro.serve/v1"
+
+
+@dataclass
+class ServeResult:
+    """One request's answer (one column of its flushed batch)."""
+
+    #: solution in the caller's point order — (N,) for coalesced
+    #: single-RHS requests.
+    w: np.ndarray
+    #: full fingerprint of the resident model that served the request.
+    model: str
+    #: columns in the batch this request was solved with (1 = solo).
+    batch_size: int
+    #: relative residual for *this* column (only when requested).
+    residual: float | None = None
+    #: reduced-system GMRES iterations of the flushed batch (lockstep
+    #: across columns — a batch property, reported when requested).
+    iterations: int | None = None
+
+    @property
+    def coalesced(self) -> bool:
+        return self.batch_size > 1
+
+    def to_payload(self) -> dict:
+        """JSON-friendly form (daemon wire format)."""
+        return {
+            "w": np.asarray(self.w).tolist(),
+            "model": self.model,
+            "batch_size": self.batch_size,
+            "coalesced": self.coalesced,
+            "residual": self.residual,
+            "iterations": self.iterations,
+        }
+
+
+class SolverService:
+    """Serve solves against resident factorized models.
+
+    Parameters
+    ----------
+    config:
+        :class:`ServeConfig`; defaults are production-shaped (5 ms
+        window, 32-column batches, 1024 pending).
+    registry:
+        Optional externally-constructed :class:`ModelRegistry` (tests);
+        by default one is built with
+        ``config.registry_budget_words``.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        registry: ModelRegistry | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry or ModelRegistry(
+            budget_words=self.config.registry_budget_words
+        )
+        self.coalescer = RequestCoalescer(
+            self._solve_batch,
+            window_seconds=self.config.window_seconds,
+            max_batch=self.config.max_batch,
+        )
+        self._pending = 0
+        self._shed = 0
+        self._served = 0
+        self._pending_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        reg = metrics_registry()
+        with self._pending_lock:
+            if self._closed:
+                raise OverloadedError("service is shut down")
+            if self._pending >= self.config.max_pending:
+                self._shed += 1
+                reg.counter("serve.admission.shed").inc()
+                raise OverloadedError(
+                    f"{self._pending} requests already in flight "
+                    f"(max_pending={self.config.max_pending}); request shed"
+                )
+            self._pending += 1
+            reg.gauge("serve.admission.pending").set(self._pending)
+
+    def _release(self) -> None:
+        with self._pending_lock:
+            self._pending -= 1
+            metrics_registry().gauge("serve.admission.pending").set(self._pending)
+
+    def _request_deadline(
+        self, deadline_seconds: float | None, work_budget: int | None
+    ) -> Deadline | None:
+        """Admission derives every request's deadline here: config
+        defaults, overridden per request; no limits at all → ``None``."""
+        seconds = (
+            self.config.deadline_seconds
+            if deadline_seconds is None
+            else deadline_seconds
+        )
+        units = self.config.work_budget if work_budget is None else work_budget
+        if seconds is None and units is None:
+            return None
+        budget = WorkBudget(limit=units) if units is not None else None
+        return Deadline(seconds=seconds, budget=budget)
+
+    # ------------------------------------------------------------------
+    # the serving path
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        rhs: np.ndarray,
+        *,
+        model: str | None = None,
+        with_info: bool = False,
+        deadline_seconds: float | None = None,
+        work_budget: int | None = None,
+    ):
+        """Solve ``(lambda I + K~) w = rhs`` against a resident model.
+
+        ``rhs`` of shape (N,) returns one :class:`ServeResult` and may
+        be coalesced with concurrent requests; shape (N, k) is already
+        a batch, runs directly, and returns ``k`` results (one per
+        column).  ``model`` may be a full fingerprint, a unique prefix,
+        or ``None`` when exactly one model is resident.
+        """
+        fingerprint = self.registry.resolve(model)
+        resident = self.registry.get(fingerprint)
+        rhs = check_vector(np.asarray(rhs, dtype=np.float64),
+                           resident.solver.n_points)
+        deadline = self._request_deadline(deadline_seconds, work_budget)
+        self._admit()
+        try:
+            if rhs.ndim == 2:
+                metas = [{"info": with_info}] * rhs.shape[1]
+                result = self._solve_batch(fingerprint, rhs, deadline, metas)
+            else:
+                result = self.coalescer.submit(
+                    fingerprint, rhs, deadline=deadline, meta={"info": with_info}
+                )
+        finally:
+            self._release()
+        with self._pending_lock:
+            self._served += 1
+        return result
+
+    def _solve_batch(
+        self,
+        fingerprint: str,
+        U: np.ndarray,
+        deadline: Deadline | None,
+        metas: list[dict],
+    ) -> list[ServeResult]:
+        """Coalescer flush callback: one batched solve, k scattered results."""
+        resident = self.registry.peek(fingerprint)
+        solver = resident.solver
+        fact = solver.factorization
+        before = len(fact.reduced_iterations)
+        with deadline_scope(deadline):
+            W = solver.solve(U)
+        iterations = int(sum(fact.reduced_iterations[before:]))
+        self.registry.count_solve(fingerprint)
+        k = U.shape[1]
+        want_info = any(meta.get("info") for meta in metas)
+        residuals: list[float | None] = [None] * k
+        if want_info:
+            # one batched regularized matvec for the whole panel; the
+            # per-column relative residual is eq. 15 column-wise.
+            R = U - solver.regularized_matvec(fact.lam, W)
+            norm_u = np.linalg.norm(U, axis=0)
+            norm_r = np.linalg.norm(R, axis=0)
+            residuals = [
+                float(r / u) if u > 0 else float(r)
+                for r, u in zip(norm_r, norm_u)
+            ]
+        results = []
+        for j, meta in enumerate(metas):
+            info = bool(meta.get("info"))
+            results.append(
+                ServeResult(
+                    w=np.array(W[:, j]),
+                    model=fingerprint,
+                    batch_size=k,
+                    residual=residuals[j] if info else None,
+                    iterations=iterations if info else None,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # health / lifecycle
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The ``repro.serve/v1`` blob: service, registry, coalescer
+        state plus one ``repro.telemetry/v1`` blob per resident model
+        (scoped to that solver's series)."""
+        models = {}
+        for resident in self.registry.models():
+            entry = resident.describe()
+            entry["telemetry"] = resident.solver.telemetry()
+            models[resident.fingerprint] = entry
+        with self._pending_lock:
+            pending, shed, served = self._pending, self._shed, self._served
+        return {
+            "schema": SERVE_SCHEMA,
+            "config": asdict(self.config),
+            "pending": pending,
+            "shed": shed,
+            "served": served,
+            "registry": self.registry.stats(),
+            "coalescer": self.coalescer.stats(),
+            "models": models,
+        }
+
+    def close(self) -> None:
+        """Stop admitting, drain the coalescer."""
+        with self._pending_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.coalescer.close()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
