@@ -371,9 +371,14 @@ class SolverConfig:
             raise ConfigurationError(
                 f"storage must be 'full' or 'low'; got {self.storage!r}"
             )
-        if self.backend is not None and self.backend not in ("thread", "process"):
+        if self.backend is not None and self.backend not in (
+            "thread",
+            "process",
+            "socket",
+        ):
             raise ConfigurationError(
-                f"backend must be 'thread', 'process', or None; got {self.backend!r}"
+                "backend must be 'thread', 'process', 'socket', or None; "
+                f"got {self.backend!r}"
             )
         if self.storage == "low" and self.method == "nlog2n":
             raise ConfigurationError(

@@ -19,7 +19,10 @@ __all__ = [
     "DeadlockError",
     "FaultInjectionError",
     "RankCrashError",
+    "RankHangError",
+    "RankLostError",
     "RecoveryExhaustedError",
+    "ServeUnavailableError",
     "DeadlineExceededError",
     "BudgetExhaustedError",
     "CheckpointError",
@@ -86,6 +89,66 @@ class RankCrashError(CommunicatorError):
     Raised *inside* the victim rank by the fault plan; the SPMD
     supervisor catches it and re-routes the dead rank's work instead of
     aborting the launch (see :mod:`repro.parallel.vmpi.runtime`).
+    """
+
+
+class RankHangError(CommunicatorError):
+    """An injected rank *hang* (chaos testing of failure detection).
+
+    Unlike :class:`RankCrashError` — which the victim reports to the
+    supervisor before exiting — a hang models a network partition or a
+    wedged host: the rank silently stops participating while its TCP
+    connection stays open.  Only a backend with a heartbeat failure
+    detector (the socket backend; see
+    :mod:`repro.parallel.vmpi.membership`) can recover from it.
+    """
+
+
+class RankLostError(CommunicatorError):
+    """A rank was declared *permanently* lost by the supervisor.
+
+    Raised by ``run_spmd(..., elastic=True)`` when a rank dies (crash
+    with the respawn budget exhausted, or a heartbeat-confirmed hang)
+    and log-replay respawn is no longer an option.  Carries everything
+    the caller needs to repartition the lost rank's work onto the
+    survivors:
+
+    * ``rank`` — the world rank that was lost;
+    * ``epoch`` — the membership epoch *after* the loss was confirmed
+      (messages from earlier epochs are stale and must be rejected);
+    * ``checkpoints`` — ``{world_rank: payload}`` of the most recent
+      per-rank checkpoint posted via ``Communicator.checkpoint`` by the
+      *surviving* ranks (the dead rank's checkpoint is discarded: its
+      host is gone);
+    * ``stats`` — the aborted launch's :class:`CommStats`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int,
+        epoch: int = 0,
+        checkpoints: dict | None = None,
+        stats=None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.epoch = epoch
+        self.checkpoints = checkpoints if checkpoints is not None else {}
+        self.stats = stats
+
+
+class ServeUnavailableError(ReproError, ConnectionError):
+    """The serve daemon stayed unreachable after the retry budget.
+
+    Raised by :class:`repro.serve.ServeClient` once capped
+    exponential backoff (mirroring the fabric's
+    :class:`repro.parallel.vmpi.RetryPolicy`) has been exhausted on
+    transient connect/read failures.  Distinct from
+    :class:`OverloadedError`: the daemon never answered at all, so the
+    caller should fail over to another replica rather than retry the
+    same one.
     """
 
 

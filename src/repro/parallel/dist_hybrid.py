@@ -221,6 +221,8 @@ def distributed_hybrid_factorize(
     config: SolverConfig | None = None,
     fault_plan: FaultPlan | None = None,
     backend: str | None = None,
+    hosts: list[str] | None = None,
+    heartbeat=None,
 ) -> DistributedHybrid:
     """Distributed partial factorization up to the frontier.
 
@@ -230,7 +232,11 @@ def distributed_hybrid_factorize(
     paper's Figure 2 layout).
 
     ``backend`` selects the vMPI execution backend (``None`` defers to
-    ``config.backend`` and the ``REPRO_VMPI_BACKEND`` environment).
+    ``config.backend`` and the ``REPRO_VMPI_BACKEND`` environment);
+    ``hosts``/``heartbeat`` are socket-backend knobs (see
+    :func:`repro.parallel.vmpi.run_spmd`).  Elastic repartitioning is
+    a full-telescoping feature — the hybrid's frontier ownership does
+    not halve cleanly — so permanent rank loss here stays fatal.
     """
     from repro.parallel.vmpi import resolve_backend
 
@@ -252,8 +258,10 @@ def distributed_hybrid_factorize(
         config,
         fault_plan=fault_plan,
         backend=backend,
+        hosts=hosts,
+        heartbeat=heartbeat,
     )
-    if backend == "process":
+    if backend in ("process", "socket"):
         # rebind the unpickled per-rank HMatrix copies to the caller's
         # instance (see distributed_factorize).
         for state in states:

@@ -120,11 +120,15 @@ def _factor_worker(
     h: HMatrix,
     lam: float,
     config: SolverConfig,
+    checkpoint: bool = False,
+    resume: dict | None = None,
 ) -> _RankState:
     from repro.util.flops import FlopCounter
 
     with FlopCounter() as rank_counter:
-        state = _factor_worker_body(comm, h, lam, config)
+        state = _factor_worker_body(
+            comm, h, lam, config, checkpoint=checkpoint, resume=resume
+        )
     state.factor_flops = rank_counter.flops
     return state
 
@@ -134,6 +138,8 @@ def _factor_worker_body(
     h: HMatrix,
     lam: float,
     config: SolverConfig,
+    checkpoint: bool = False,
+    resume: dict | None = None,
 ) -> _RankState:
     tree = h.tree
     p = comm.size
@@ -141,6 +147,11 @@ def _factor_worker_body(
     subtree_root = tree.node((1 << n_levels) + comm.rank)
 
     # ---- local phase: serial Algorithm II.2 on the owned subtree ------
+    # ``resume`` carries checkpointed node factors from a previous,
+    # wider launch that lost a rank: nodes a survivor already factored
+    # are restored (idempotent, keyed by node id) and only the lost
+    # subtree — plus the newly-merged roots no old rank owned — is
+    # factorized fresh.
     local = HierarchicalFactorization(h, lam, config)
     stack = [subtree_root]
     order = []
@@ -151,7 +162,10 @@ def _factor_worker_body(
             left, right = tree.children(node)
             stack.extend((left, right))
     for node in sorted(order, key=lambda n: -n.level):
-        if tree.is_leaf(node):
+        payload = resume.get(node.id) if resume else None
+        if payload is not None:
+            local.restore_node_payload(payload)
+        elif tree.is_leaf(node):
             local._factor_leaf(node)
         else:
             local._factor_internal(node)
@@ -164,6 +178,17 @@ def _factor_worker_body(
         hi=subtree_root.hi,
         local=local,
     )
+    if checkpoint:
+        # control-plane checkpoint at the local/distributed boundary:
+        # if a rank is permanently lost during the distributed phase,
+        # the supervisor hands these payloads to the repartitioned
+        # relaunch, which resumes from here instead of replaying logs.
+        comm.checkpoint(
+            {
+                "subtree_root_id": subtree_root.id,
+                "nodes": [local.export_node_payload(n.id) for n in order],
+            }
+        )
     if n_levels == 0:
         # p = 1: the "subtree" is the whole tree; build the root reduced
         # system locally through the serial path.
@@ -329,6 +354,10 @@ def distributed_factorize(
     config: SolverConfig | None = None,
     fault_plan: FaultPlan | None = None,
     backend: str | None = None,
+    elastic: bool = False,
+    hosts: list[str] | None = None,
+    heartbeat=None,
+    max_respawns: int = 2,
 ) -> DistributedFactorization:
     """DistFactorize (Algorithm II.4) over ``n_ranks`` virtual ranks.
 
@@ -343,10 +372,22 @@ def distributed_factorize(
     recorded in the returned factorization's ``health``.
 
     ``backend`` selects the vMPI execution backend (``"thread"``,
-    ``"process"``, or ``None`` for ``config.backend``, which itself
-    defaults to the ``REPRO_VMPI_BACKEND`` environment).  Both produce
-    bitwise-identical factors; see docs/PARALLELISM.md.
+    ``"process"``, ``"socket"``, or ``None`` for ``config.backend``,
+    which itself defaults to the ``REPRO_VMPI_BACKEND`` environment).
+    All produce bitwise-identical factors; see docs/PARALLELISM.md.
+
+    ``elastic=True`` arms **repartitioning**: every rank checkpoints its
+    subtree factors at the local/distributed boundary, and when a rank
+    is *permanently* lost (crash past the respawn budget, or a
+    heartbeat-confirmed hang on the socket backend) the factorization
+    relaunches on ``n_ranks / 2`` ranks — each new rank owns the parent
+    of two old subtrees — restoring the survivors' checkpointed nodes
+    and refactorizing only the lost subtree plus the merged roots.  The
+    repartition is recorded in the returned ``health`` and in the
+    fabric's ``repartitions`` counter.  ``hosts``/``heartbeat`` are
+    socket-backend knobs (see :func:`repro.parallel.vmpi.run_spmd`).
     """
+    from repro.exceptions import RankLostError
     from repro.parallel.vmpi import resolve_backend
     config = config or SolverConfig()
     backend = resolve_backend(backend if backend is not None else config.backend)
@@ -362,23 +403,79 @@ def distributed_factorize(
             f"n_ranks={n_ranks} exceeds the number of level-log2(p) "
             f"subtrees (depth {hmatrix.tree.depth})"
         )
-    states, stats = run_spmd(
-        _factor_worker,
-        n_ranks,
-        hmatrix,
-        lam,
-        config,
-        fault_plan=fault_plan,
-        backend=backend,
-    )
-    if backend == "process":
+
+    health = SolverHealth(final_path="distributed")
+    resume: dict | None = None
+    lost_stats: list[CommStats] = []
+    repartition_events: list[dict] = []
+    while True:
+        try:
+            states, stats = run_spmd(
+                _factor_worker,
+                n_ranks,
+                hmatrix,
+                lam,
+                config,
+                fault_plan=fault_plan,
+                backend=backend,
+                elastic=elastic,
+                hosts=hosts,
+                heartbeat=heartbeat,
+                max_respawns=max_respawns,
+                checkpoint=elastic,
+                resume=resume,
+            )
+            break
+        except RankLostError as exc:
+            if not elastic or n_ranks < 2:
+                raise
+            # Repartition: halve the rank count so every new rank owns
+            # the parent of two old subtree roots.  Survivor checkpoints
+            # seed the resume map; the dead rank's subtree (its host is
+            # gone, checkpoint discarded) and the merged roots are
+            # refactorized fresh.  The distributed phase re-runs
+            # entirely — it is the cheap O(s^2 log^2 p) part.
+            resume = dict(resume or {})
+            for ckpt in exc.checkpoints.values():
+                for payload in ckpt["nodes"]:
+                    resume[payload["node_id"]] = payload
+            if exc.stats is not None:
+                lost_stats.append(exc.stats)
+            event = {
+                "lost_rank": exc.rank,
+                "epoch": exc.epoch,
+                "from_ranks": n_ranks,
+                "to_ranks": n_ranks // 2,
+                "restored_nodes": len(resume),
+            }
+            repartition_events.append(event)
+            health.record("repartition", **event)
+            n_ranks //= 2
+            if fault_plan is not None:
+                # the supervisor's own copy of the plan may not have
+                # seen the victim fire (process/socket ship copies).
+                fault_plan.disarm_crash()
+
+    for lost in lost_stats:
+        stats.merge(lost)
+    if repartition_events:
+        from repro.obs.metrics import registry
+
+        for event in repartition_events:
+            stats.record_fault("repartitions", rank=event["lost_rank"])
+            # each launch already published its own counters at join;
+            # the repartition itself is supervisor-side, so mirror it
+            # into the registry here.
+            registry().counter(
+                "fabric.faults", kind="repartitions", rank=event["lost_rank"]
+            ).inc(1)
+    if backend in ("process", "socket"):
         # Rank states come back as unpickled copies, each dragging its
         # own HMatrix copy.  Rebind them all to the caller's instance:
         # one HMatrix in memory, and a later pickle of the whole
         # DistributedFactorization memoizes it into a single envelope.
         for state in states:
             state.local.hmatrix = hmatrix
-    health = SolverHealth(final_path="distributed")
     health.ingest_comm(stats)
     return DistributedFactorization(
         hmatrix=hmatrix,

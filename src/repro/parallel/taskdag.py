@@ -333,7 +333,10 @@ def execute_factorization(
         fact._factored = True
         return fact
 
-    if backend == "process":
+    if backend in ("process", "socket"):
+        # the task DAG has no message fabric — "socket" degrades to the
+        # process pool (same workers, same shm envelopes); the socket
+        # transport only matters for SPMD rank programs.
         return _execute_factorization_processes(
             fact, hmatrix, lam, config, n_workers=n_workers, timeout=timeout
         )

@@ -1,11 +1,13 @@
 """Virtual MPI: a deterministic message-passing runtime.
 
-Ranks execute the same SPMD function on one of two backends — threads
-over a shared logged-mailbox fabric (default, debuggable) or real
+Ranks execute the same SPMD function on one of three backends — threads
+over a shared logged-mailbox fabric (default, debuggable), real
 ``multiprocessing`` workers with shared-memory payload transport
-(``run_spmd(..., backend="process")``, true multi-core; see
-docs/PARALLELISM.md).  The fabric routes tagged messages between
-(communicator, source, dest) mailboxes.
+(``run_spmd(..., backend="process")``, true multi-core), or spawned
+workers over TCP with heartbeat failure detection and elastic
+membership (``backend="socket"``; see docs/PARALLELISM.md).  The
+fabric routes tagged messages between (communicator, source, dest)
+mailboxes.
 Collectives (bcast/reduce/allreduce/gather/allgather/barrier) are
 implemented as binomial trees over point-to-point messages, so the
 fabric's message and byte counters reflect the O(log p) per-collective
@@ -23,6 +25,11 @@ and docs/ROBUSTNESS.md).
 from repro.parallel.vmpi.fabric import Fabric, CommStats
 from repro.parallel.vmpi.communicator import Communicator
 from repro.parallel.vmpi.faults import FaultPlan, RetryPolicy, plan_from_env
+from repro.parallel.vmpi.membership import (
+    FailureDetector,
+    HeartbeatConfig,
+    Membership,
+)
 from repro.parallel.vmpi.runtime import BACKENDS, resolve_backend, run_spmd
 
 __all__ = [
@@ -35,4 +42,7 @@ __all__ = [
     "run_spmd",
     "resolve_backend",
     "BACKENDS",
+    "HeartbeatConfig",
+    "FailureDetector",
+    "Membership",
 ]

@@ -113,6 +113,19 @@ class Communicator:
         self.send(obj, dest, tag)
         return self.recv(source, tag)
 
+    def checkpoint(self, payload: Any, tag: int = 0) -> None:
+        """Post a control-plane checkpoint of this rank's state.
+
+        The supervisor keeps the *latest* checkpoint per rank; when a
+        rank is permanently lost under elastic mode, the survivors'
+        checkpoints ride back on the
+        :class:`~repro.exceptions.RankLostError` so the caller can
+        repartition without replaying the message log.  Checkpoints are
+        not messages: they are uncounted, unlogged, and undeliverable —
+        and therefore cannot perturb chaos schedules or traffic parity.
+        """
+        self._fabric.post_checkpoint(self.world_rank(), tag, payload)
+
     # -- collectives -------------------------------------------------------
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast; returns the object on every rank."""

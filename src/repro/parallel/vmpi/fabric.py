@@ -92,6 +92,17 @@ class CommStats:
     respawns: int = 0
     #: re-sent messages suppressed by dedup during replay.
     duplicates_suppressed: int = 0
+    #: heartbeats received by the supervisor (socket backend).
+    heartbeats: int = 0
+    #: heartbeat-detector alive -> suspected transitions.
+    suspicions: int = 0
+    #: ranks declared permanently dead by the failure detector (or by a
+    #: crash with the respawn budget exhausted under elastic mode).
+    confirmed_losses: int = 0
+    #: frames from a dead rank's membership epoch rejected at the router.
+    stale_rejected: int = 0
+    #: elastic repartitions of subtree ownership onto survivors.
+    repartitions: int = 0
     #: one dict per crash recovery performed by the supervisor.
     rank_recoveries: list[dict] = field(default_factory=list)
     #: per-world-rank fault counters, ``{rank: {kind: count}}`` — the
@@ -131,6 +142,11 @@ class CommStats:
             self.crashes += other.crashes
             self.respawns += other.respawns
             self.duplicates_suppressed += other.duplicates_suppressed
+            self.heartbeats += other.heartbeats
+            self.suspicions += other.suspicions
+            self.confirmed_losses += other.confirmed_losses
+            self.stale_rejected += other.stale_rejected
+            self.repartitions += other.repartitions
             self.rank_recoveries.extend(other.rank_recoveries)
             for rank, per in other.by_rank_faults.items():
                 mine = self.by_rank_faults.setdefault(rank, {})
@@ -170,6 +186,8 @@ class CommStats:
         with self._lock:
             reg.counter("fabric.messages").inc(self.messages)
             reg.counter("fabric.bytes").inc(self.bytes)
+            if self.heartbeats:
+                reg.counter("fabric.heartbeats").inc(self.heartbeats)
             unattributed = {
                 "drops": self.drops,
                 "corruptions": self.corruptions,
@@ -178,6 +196,10 @@ class CommStats:
                 "crashes": self.crashes,
                 "respawns": self.respawns,
                 "duplicates_suppressed": self.duplicates_suppressed,
+                "suspicions": self.suspicions,
+                "confirmed_losses": self.confirmed_losses,
+                "stale_rejected": self.stale_rejected,
+                "repartitions": self.repartitions,
             }
             for rank, per in self.by_rank_faults.items():
                 for kind, n in per.items():
@@ -198,6 +220,10 @@ class CommStats:
             "crashes": self.crashes,
             "respawns": self.respawns,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "suspicions": self.suspicions,
+            "confirmed_losses": self.confirmed_losses,
+            "stale_rejected": self.stale_rejected,
+            "repartitions": self.repartitions,
         }
 
     @property
@@ -231,6 +257,9 @@ class Fabric:
         #: replay dedup: posts remaining to suppress per key.
         self._suppress: dict[tuple, int] = defaultdict(int)
         self._dead: set[int] = set()
+        #: latest control-plane checkpoint per world rank (elastic
+        #: repartitioning resumes from these instead of the log).
+        self._checkpoints: dict[int, tuple[int, object]] = {}
         self._cond = threading.Condition()
         self._aborted: BaseException | None = None
 
@@ -317,6 +346,28 @@ class Fabric:
         if delay > 0.0:
             time.sleep(delay)
         return payload
+
+    # ------------------------------------------------------------------
+    # control plane: per-rank checkpoints (elastic repartitioning)
+    # ------------------------------------------------------------------
+    def post_checkpoint(self, world_rank: int, tag: int, payload) -> None:
+        """Record ``world_rank``'s latest checkpoint (control plane).
+
+        Checkpoints are *not* messages: they are never counted in the
+        traffic stats, never replayed, and never delivered to peers.
+        The supervisor hands the most recent one per surviving rank to
+        the caller when a rank is permanently lost
+        (:class:`~repro.exceptions.RankLostError`), so elastic
+        repartitioning resumes from checkpointed state instead of
+        replaying the whole message log.
+        """
+        with self._cond:
+            self._checkpoints[world_rank] = (tag, payload)
+
+    def collect_checkpoints(self) -> dict[int, object]:
+        """Latest checkpoint payload per rank (supervisor side)."""
+        with self._cond:
+            return {rank: payload for rank, (_tag, payload) in self._checkpoints.items()}
 
     # ------------------------------------------------------------------
     # failure detection and recovery

@@ -30,7 +30,7 @@ import struct
 import threading
 from dataclasses import dataclass, field
 
-from repro.exceptions import RankCrashError
+from repro.exceptions import RankCrashError, RankHangError
 
 __all__ = [
     "FaultAction",
@@ -102,6 +102,19 @@ class FaultPlan:
         The victim dies when it executes its ``crash_op``-th
         communicator operation (sends and receives both count).  Fires
         once per plan.
+    hang_rank / hang_op:
+        World rank to *hang* (silently stop participating — the model
+        of a partitioned or wedged host) on its ``hang_op``-th
+        communicator operation.  A hang is reported to nobody; only the
+        socket backend's heartbeat failure detector
+        (:mod:`repro.parallel.vmpi.membership`) can recover from it.
+        On the thread/process backends a hang degenerates into a recv
+        timeout on the peers (documented; do not use it there).
+    hang_seconds:
+        How long a hung rank stays wedged before waking up as a
+        *zombie* and attempting to resume — exercising the supervisor's
+        stale-epoch rejection.  The default is effectively forever (the
+        supervisor terminates hung workers at teardown).
     retry:
         Retransmission policy applied by receivers under this plan.
     """
@@ -113,11 +126,15 @@ class FaultPlan:
     delay_seconds: float = 1e-3
     crash_rank: int | None = None
     crash_op: int = 4
+    hang_rank: int | None = None
+    hang_op: int = 4
+    hang_seconds: float = 3600.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _op_counts: dict[int, int] = field(default_factory=dict, repr=False)
     _crash_fired: bool = field(default=False, repr=False)
+    _hang_fired: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         total = self.drop_rate + self.corrupt_rate + self.delay_rate
@@ -148,27 +165,40 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
     def on_op(self, world_rank: int) -> None:
-        """Count one communicator operation; raise the scheduled crash.
+        """Count one communicator operation; raise the scheduled fault.
 
         Called by :class:`Communicator` send/recv.  Thread-safe; the
-        crash fires at most once per plan instance, so a respawned rank
-        replays straight through the old crash point.
+        crash (and the hang) each fire at most once per plan instance,
+        so a respawned rank replays straight through the old crash
+        point.
         """
-        if self.crash_rank is None:
+        if self.crash_rank is None and self.hang_rank is None:
             return
         with self._lock:
             count = self._op_counts.get(world_rank, 0) + 1
             self._op_counts[world_rank] = count
-            fire = (
+            fire_crash = (
                 not self._crash_fired
                 and world_rank == self.crash_rank
                 and count >= self.crash_op
             )
-            if fire:
+            if fire_crash:
                 self._crash_fired = True
-        if fire:
+            fire_hang = (
+                not fire_crash
+                and not self._hang_fired
+                and world_rank == self.hang_rank
+                and count >= self.hang_op
+            )
+            if fire_hang:
+                self._hang_fired = True
+        if fire_crash:
             raise RankCrashError(
                 f"injected crash: world rank {world_rank} at op {count}"
+            )
+        if fire_hang:
+            raise RankHangError(
+                f"injected hang: world rank {world_rank} at op {count}"
             )
 
     @property
@@ -176,7 +206,7 @@ class FaultPlan:
         return self.crash_rank is not None and not self._crash_fired
 
     def disarm_crash(self) -> None:
-        """Mark the scheduled crash as already fired.
+        """Mark the scheduled crash (and hang) as already fired.
 
         The process backend ships each rank a *copy* of the plan, so a
         respawned replacement would re-fire the crash its predecessor
@@ -186,6 +216,7 @@ class FaultPlan:
         """
         with self._lock:
             self._crash_fired = True
+            self._hang_fired = True
 
     # -- pickling: the process backend ships the plan to every rank ----
     def __getstate__(self):

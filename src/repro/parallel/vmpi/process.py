@@ -146,6 +146,16 @@ class ProcessRankFabric:
             )
         )
 
+    def post_checkpoint(self, world_rank: int, tag: int, payload) -> None:
+        """Control plane: latest-wins checkpoint, held by the router.
+
+        Uncounted and unlogged (like the thread fabric's), so it cannot
+        perturb chaos schedules or cross-backend traffic parity.  The
+        payload travels pickled through the queue — a checkpoint must
+        outlive the rank that posted it, so no shared memory.
+        """
+        self._router_in.put(("ckpt", world_rank, tag, payload))
+
     def wait(self, comm_key: str, src: int, dst: int, tag: int):
         """One delivery attempt — the mirror of ``Fabric.wait``.
 
@@ -208,6 +218,8 @@ class _Router:
         self.logs: dict[tuple, list] = defaultdict(list)
         self.key_world: dict[tuple, tuple[int, int]] = {}
         self.suppress: dict[tuple, int] = defaultdict(int)
+        #: latest control-plane checkpoint payload per world rank.
+        self.checkpoints: dict[int, object] = {}
         self.inboxes = [ctx.Queue() for _ in range(n_ranks)]
         self.sync_events: dict[int, threading.Event] = {}
         self._ctx = ctx
@@ -230,6 +242,11 @@ class _Router:
                 ev = self.sync_events.pop(item[1], None)
                 if ev is not None:
                     ev.set()
+                continue
+            if kind == "ckpt":
+                _, rank, _tag, payload = item
+                with self._lock:
+                    self.checkpoints[rank] = payload
                 continue
             _, comm_key, src, dst, tag, sw, dw, env, nbytes = item
             key = (comm_key, src, dst, tag)
@@ -380,6 +397,7 @@ def run_spmd_processes(
     timeout: float = 120.0,
     fault_plan: FaultPlan | None = None,
     max_respawns: int = 2,
+    elastic: bool = False,
     start_method: str | None = None,
     **kwargs,
 ):
@@ -389,7 +407,11 @@ def run_spmd_processes(
     ``RuntimeError("virtual rank r failed: ...")`` on rank failure,
     recovers injected rank crashes by respawn-with-replay.  ``fn`` must
     be picklable (a module-level function — spawn cannot ship closures).
+    With ``elastic=True`` a crash past the respawn budget raises
+    :class:`~repro.exceptions.RankLostError` carrying the survivors'
+    latest checkpoints instead of a bare RuntimeError.
     """
+    from repro.exceptions import RankLostError
     from repro.obs.metrics import registry
     from repro.resilience.deadline import current_deadline
     from repro.util.flops import current_counter
@@ -424,6 +446,7 @@ def run_spmd_processes(
     telemetries: list[tuple[int, dict]] = []
     suspect_since: dict[int, float] = {}
     abort_deadline: float | None = None
+    lost_rank: int | None = None
 
     def spawn(rank: int, generation: int) -> None:
         name = (
@@ -464,7 +487,8 @@ def run_spmd_processes(
 
     def handle_crash(rank: int, err: str) -> bool:
         """Respawn if budget allows; returns True when the rank is
-        finished (budget exhausted -> fatal)."""
+        finished (budget exhausted -> fatal, or elastic loss)."""
+        nonlocal lost_rank
         router.stats.record_fault("crashes", rank=rank)
         if respawn_counts[rank] < max_respawns:
             respawn_counts[rank] += 1
@@ -484,6 +508,14 @@ def run_spmd_processes(
             router.respawn(rank)
             spawn(rank, respawn_counts[rank])
             return False
+        if elastic and lost_rank is None:
+            lost_rank = rank
+            router.stats.record_fault("confirmed_losses", rank=rank)
+            recoveries.append(
+                {"stage": "rank_lost", "rank": rank, "epoch": 1, "error": err}
+            )
+            broadcast_abort(f"rank {rank} permanently lost: {err}")
+            return True
         errors.append((rank, err))
         broadcast_abort(err)
         return True
@@ -574,6 +606,21 @@ def run_spmd_processes(
             counter.add_mops(f["mops"])
             counter.add_kernel_evals(f["kernel_evals"])
 
+    if lost_rank is not None:
+        # the router thread has drained its pipe (stop() joined it), so
+        # every survivor checkpoint flushed before a status is in.
+        checkpoints = {
+            r: p for r, p in router.checkpoints.items() if r != lost_rank
+        }
+        raise RankLostError(
+            f"virtual rank {lost_rank} permanently lost; "
+            f"{len(checkpoints)} survivor checkpoint(s) available for "
+            "repartitioning",
+            rank=lost_rank,
+            epoch=1,
+            checkpoints=checkpoints,
+            stats=stats,
+        )
     if errors:
         rank, err = min(errors, key=lambda e: e[0])
         raise RuntimeError(f"virtual rank {rank} failed: {err}")

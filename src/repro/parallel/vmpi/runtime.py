@@ -6,7 +6,7 @@ every rank's return value plus the fabric's traffic statistics.  A
 rank that raises aborts the whole launch (waking any rank blocked in
 ``recv``) and re-raises in the caller.
 
-Two backends share this entry point (docs/PARALLELISM.md):
+Three backends share this entry point (docs/PARALLELISM.md):
 
 * ``backend="thread"`` (default) — ranks are threads over the shared
   logged-mailbox :class:`~repro.parallel.vmpi.fabric.Fabric`.
@@ -17,6 +17,11 @@ Two backends share this entry point (docs/PARALLELISM.md):
   (:mod:`repro.parallel.vmpi.process`): true multi-core execution with
   bitwise-identical results.  Requires ``fn`` and its arguments to be
   picklable.
+* ``backend="socket"`` — ranks are spawned workers speaking TCP frames
+  to a supervisor router (:mod:`repro.parallel.vmpi.sockets`): the
+  same pickle-5 envelopes (shared memory for co-hosted ranks, inline
+  over the wire for remote ones), plus heartbeat failure detection and
+  elastic membership — the only backend that can recover a *hang*.
 
 ``backend=None`` resolves from the ``REPRO_VMPI_BACKEND`` environment
 variable, defaulting to ``thread``.
@@ -50,7 +55,7 @@ import queue
 import threading
 from typing import Any, Callable
 
-from repro.exceptions import ConfigurationError, RankCrashError
+from repro.exceptions import ConfigurationError, RankCrashError, RankLostError
 from repro.parallel.vmpi.communicator import Communicator
 from repro.parallel.vmpi.fabric import CommStats, Fabric
 from repro.parallel.vmpi.faults import FaultPlan, plan_from_env
@@ -59,7 +64,7 @@ from repro.util.flops import current_counter
 __all__ = ["run_spmd", "resolve_backend", "BACKENDS"]
 
 #: execution backends for :func:`run_spmd`.
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "socket")
 
 #: environment override for the default backend.
 ENV_BACKEND = "REPRO_VMPI_BACKEND"
@@ -102,6 +107,9 @@ def run_spmd(
     fault_plan: FaultPlan | None = None,
     max_respawns: int = 2,
     backend: str | None = None,
+    elastic: bool = False,
+    hosts: list[str] | None = None,
+    heartbeat=None,
     **kwargs,
 ) -> tuple[list[Any], CommStats]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` virtual ranks.
@@ -122,10 +130,23 @@ def run_spmd(
     max_respawns:
         Per-rank budget of crash recoveries before the launch aborts.
     backend:
-        ``"thread"`` (default), ``"process"``, or ``None`` to consult
-        ``REPRO_VMPI_BACKEND``.  Both backends produce bitwise-identical
-        results; the process backend additionally requires ``fn`` and
-        its arguments to be picklable (module-level functions).
+        ``"thread"`` (default), ``"process"``, ``"socket"``, or ``None``
+        to consult ``REPRO_VMPI_BACKEND``.  All backends produce
+        bitwise-identical results; process and socket additionally
+        require ``fn`` and its arguments to be picklable (module-level
+        functions).
+    elastic:
+        When True, a rank that is *permanently* lost (crash with the
+        respawn budget exhausted, or — socket backend — a
+        heartbeat-confirmed hang) raises
+        :class:`~repro.exceptions.RankLostError` carrying the
+        survivors' latest ``Communicator.checkpoint`` payloads, so the
+        caller can repartition the lost work instead of failing.
+    hosts / heartbeat:
+        Socket-backend only: round-robin rank→host assignment and
+        failure-detector timing (see
+        :mod:`repro.parallel.vmpi.membership`).  Ignored by the other
+        backends.
 
     Returns
     -------
@@ -138,7 +159,8 @@ def run_spmd(
 
     if fault_plan is None:
         fault_plan = plan_from_env()
-    if resolve_backend(backend) == "process":
+    resolved = resolve_backend(backend)
+    if resolved == "process":
         from repro.parallel.vmpi.process import run_spmd_processes
 
         return run_spmd_processes(
@@ -148,6 +170,22 @@ def run_spmd(
             timeout=timeout,
             fault_plan=fault_plan,
             max_respawns=max_respawns,
+            elastic=elastic,
+            **kwargs,
+        )
+    if resolved == "socket":
+        from repro.parallel.vmpi.sockets import run_spmd_sockets
+
+        return run_spmd_sockets(
+            fn,
+            n_ranks,
+            *args,
+            timeout=timeout,
+            fault_plan=fault_plan,
+            max_respawns=max_respawns,
+            elastic=elastic,
+            hosts=hosts,
+            heartbeat=heartbeat,
             **kwargs,
         )
     dl = current_deadline()  # contextvars do not cross thread spawns
@@ -194,6 +232,7 @@ def run_spmd(
 
     respawn_counts = [0] * n_ranks
     recoveries: list[dict] = []
+    lost_rank: int | None = None
     for r in range(n_ranks):
         spawn(r, 0)
 
@@ -217,14 +256,41 @@ def run_spmd(
                 fabric.begin_replay(rank)
                 spawn(rank, respawn_counts[rank])
                 continue
-            # budget exhausted: treat like a fatal rank failure.
-            errors.append((rank, exc))
+            # budget exhausted: permanent loss (elastic) or fatal.
+            if elastic and lost_rank is None:
+                lost_rank = rank
+                fabric.stats.record_fault("confirmed_losses", rank=rank)
+                recoveries.append(
+                    {
+                        "stage": "rank_lost",
+                        "rank": rank,
+                        "epoch": 1,
+                        "error": repr(exc),
+                    }
+                )
+            else:
+                errors.append((rank, exc))
             fabric.abort(exc)
         finished += 1
 
     stats = fabric.stats
     stats.rank_recoveries.extend(recoveries)
     stats.publish()
+    if lost_rank is not None:
+        checkpoints = {
+            r: p
+            for r, p in fabric.collect_checkpoints().items()
+            if r != lost_rank
+        }
+        raise RankLostError(
+            f"virtual rank {lost_rank} permanently lost; "
+            f"{len(checkpoints)} survivor checkpoint(s) available for "
+            "repartitioning",
+            rank=lost_rank,
+            epoch=1,
+            checkpoints=checkpoints,
+            stats=stats,
+        )
     if errors:
         rank, exc = min(errors, key=lambda e: e[0])
         raise RuntimeError(f"virtual rank {rank} failed: {exc!r}") from exc

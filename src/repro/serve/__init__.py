@@ -23,7 +23,7 @@ factorized solvers *resident* and amortizing them across requests:
 See docs/SERVING.md.
 """
 
-from repro.serve.client import RemoteServeError, ServeClient
+from repro.serve.client import RemoteServeError, RetryConfig, ServeClient
 from repro.serve.coalescer import RequestCoalescer
 from repro.serve.config import ServeConfig
 from repro.serve.daemon import ServeDaemon, error_payload, run_daemon
@@ -34,6 +34,7 @@ __all__ = [
     "SERVE_SCHEMA",
     "ModelRegistry",
     "RemoteServeError",
+    "RetryConfig",
     "RequestCoalescer",
     "ResidentModel",
     "ServeClient",

@@ -13,7 +13,9 @@ exactly like real network clients would.
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 
 import numpy as np
 
@@ -23,10 +25,11 @@ from repro.exceptions import (
     DeadlineExceededError,
     OverloadedError,
     ReproError,
+    ServeUnavailableError,
     StabilityError,
 )
 
-__all__ = ["ServeClient", "RemoteServeError"]
+__all__ = ["ServeClient", "RemoteServeError", "RetryConfig"]
 
 _STATUS_EXCEPTIONS = {
     "overloaded": OverloadedError,
@@ -57,18 +60,114 @@ def _raise_remote(response: dict) -> None:
     )
 
 
-class ServeClient:
-    """Blocking JSON-lines client; raises typed exceptions on failure."""
+class RetryConfig:
+    """Capped exponential backoff with jitter for transport failures.
+
+    Attempt ``k`` (0-based) sleeps ``min(base * 2**k, cap)`` scaled by a
+    uniform jitter in ``[1 - jitter, 1 + jitter]`` before retrying.  Only
+    *transport* failures (refused connection, reset, daemon EOF) are
+    retried; typed daemon-side errors such as
+    :class:`~repro.exceptions.OverloadedError` propagate immediately —
+    the daemon is alive and said no.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0
+        self,
+        retries: int = 3,
+        *,
+        base: float = 0.05,
+        cap: float = 2.0,
+        jitter: float = 0.25,
+        seed: int | None = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0; got {retries}")
+        if base <= 0 or cap < base:
+            raise ConfigurationError(
+                f"need 0 < base <= cap; got base={base} cap={cap}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1); got {jitter}")
+        self.retries = retries
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.base * (2.0 ** attempt), self.cap)
+        if self.jitter == 0.0:
+            return raw
+        return raw * self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+
+class ServeClient:
+    """Blocking JSON-lines client; raises typed exceptions on failure.
+
+    ``retry`` (a :class:`RetryConfig`, or ``None`` to disable) governs
+    reconnection on transport failures, both at construction and inside
+    :meth:`request`; once the budget is spent a
+    :class:`~repro.exceptions.ServeUnavailableError` is raised.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 60.0,
+        retry: RetryConfig | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry if retry is not None else RetryConfig()
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect_with_retry()
 
     # ------------------------------------------------------------------
-    def request(self, payload: dict) -> dict:
-        """Send one request object, return the (ok) response object."""
+    def _connect_once(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _connect_with_retry(self) -> None:
+        attempts = self._retry.retries + 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                self._connect_once()
+                return
+            except OSError as exc:
+                last = exc
+                self._teardown()
+                if attempt + 1 < attempts:
+                    time.sleep(self._retry.delay(attempt))
+        raise ServeUnavailableError(
+            f"serve daemon at {self._host}:{self._port} unreachable after "
+            f"{attempts} attempt(s): {last}"
+        ) from last
+
+    def _teardown(self) -> None:
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        try:
+            if self._sock is not None:
+                self._sock.close()
+        except OSError:
+            pass
+        self._file = None
+        self._sock = None
+
+    def _request_once(self, payload: dict) -> dict:
+        if self._file is None:
+            self._connect_once()
         self._file.write(json.dumps(payload).encode() + b"\n")
         self._file.flush()
         line = self._file.readline()
@@ -78,6 +177,33 @@ class ServeClient:
         if not response.get("ok"):
             _raise_remote(response)
         return response
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the (ok) response object.
+
+        Transport failures reconnect and resend under the client's
+        :class:`RetryConfig`; ``shutdown`` is never retried (a lost
+        reply usually means the daemon honoured it).
+        """
+        if payload.get("op") == "shutdown":
+            return self._request_once(payload)
+        attempts = self._retry.retries + 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                return self._request_once(payload)
+            except ServeUnavailableError:
+                raise
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                self._teardown()
+                if attempt + 1 < attempts:
+                    time.sleep(self._retry.delay(attempt))
+        raise ServeUnavailableError(
+            f"request to {self._host}:{self._port} failed after "
+            f"{attempts} attempt(s): {last}"
+        ) from last
 
     # ------------------------------------------------------------------
     def ping(self) -> bool:
@@ -129,10 +255,7 @@ class ServeClient:
         self.request({"op": "shutdown"})
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self

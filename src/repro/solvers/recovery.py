@@ -54,7 +54,8 @@ class RecoveryEvent:
 
     ``stage`` is one of ``"lambda_bump"``, ``"escalation"``,
     ``"frontier_fallback"``, ``"iterative_fallback"``,
-    ``"solve_escalation"``, or ``"rank_respawn"``.
+    ``"solve_escalation"``, ``"rank_respawn"``, or ``"repartition"``
+    (elastic subtree reassignment after a permanent rank loss).
     """
 
     stage: str
@@ -73,8 +74,9 @@ class SolverHealth:
         lambda bump, fallback, solve escalation, and rank respawn.
     faults:
         Aggregate communication-fault counters (drops, corruptions,
-        delays, retries, crashes, respawns, duplicates_suppressed) from
-        the distributed fabric, summed over ingested launches.
+        delays, retries, crashes, respawns, duplicates_suppressed,
+        suspicions, confirmed_losses, stale_rejected, repartitions)
+        from the distributed fabric, summed over ingested launches.
     final_path:
         Which solver ultimately produced the result: the configured
         method name, ``"hybrid"`` after a frontier fallback, or

@@ -185,7 +185,8 @@ class TestBackendResolution:
     def test_explicit_values(self):
         assert resolve_backend("thread") == "thread"
         assert resolve_backend("process") == "process"
-        assert set(BACKENDS) == {"thread", "process"}
+        assert resolve_backend("socket") == "socket"
+        assert set(BACKENDS) == {"thread", "process", "socket"}
 
     def test_explicit_unknown_raises(self):
         with pytest.raises(ConfigurationError, match="backend"):

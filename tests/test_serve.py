@@ -585,3 +585,153 @@ class TestBugfixSatellites:
         assert len(calls) == 1
         assert np.array_equal(w, solver.solve(u))
         assert info.residual < 1e-6
+
+
+# ----------------------------------------------------------------------
+# client retry: capped exponential backoff + jitter, typed exhaustion
+# ----------------------------------------------------------------------
+class TestClientRetry:
+    def test_unreachable_daemon_raises_typed_error(self):
+        from repro.exceptions import ServeUnavailableError
+        from repro.serve import RetryConfig
+
+        t0 = time.perf_counter()
+        with pytest.raises(ServeUnavailableError, match="unreachable"):
+            ServeClient(
+                port=1,  # reserved port: connection refused immediately
+                retry=RetryConfig(2, base=0.01, cap=0.02, jitter=0.0),
+            )
+        # two retries slept base + cap = 0.03 s; no unbounded spinning.
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_unavailable_is_a_connection_error(self):
+        from repro.exceptions import ReproError, ServeUnavailableError
+
+        assert issubclass(ServeUnavailableError, ConnectionError)
+        assert issubclass(ServeUnavailableError, ReproError)
+
+    def test_backoff_schedule_is_capped(self):
+        from repro.serve import RetryConfig
+
+        rc = RetryConfig(6, base=0.1, cap=0.4, jitter=0.0)
+        delays = [rc.delay(k) for k in range(6)]
+        assert delays == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
+            pytest.approx(0.4), pytest.approx(0.4), pytest.approx(0.4),
+        ]
+
+    def test_jitter_stays_within_band_and_is_seedable(self):
+        from repro.serve import RetryConfig
+
+        a = RetryConfig(3, base=0.1, cap=1.0, jitter=0.25, seed=42)
+        b = RetryConfig(3, base=0.1, cap=1.0, jitter=0.25, seed=42)
+        da = [a.delay(k) for k in range(8)]
+        db = [b.delay(k) for k in range(8)]
+        assert da == db  # same seed, same schedule
+        for k, d in enumerate(da):
+            raw = min(0.1 * 2.0 ** k, 1.0)
+            assert 0.75 * raw <= d <= 1.25 * raw
+
+    def test_retry_config_validation(self):
+        from repro.serve import RetryConfig
+
+        with pytest.raises(ConfigurationError):
+            RetryConfig(-1)
+        with pytest.raises(ConfigurationError):
+            RetryConfig(1, base=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryConfig(1, base=1.0, cap=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryConfig(1, jitter=1.5)
+
+    def test_request_reconnects_after_daemon_drop(self):
+        """Kill the client's connection server-side mid-session; the
+        next request must transparently reconnect and succeed."""
+        import socket as socket_mod
+
+        from repro.serve import RetryConfig
+
+        drops = {"n": 0}
+
+        def flaky_server(listener, stop):
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                f = conn.makefile("rwb")
+                line = f.readline()
+                if line and drops["n"] > 0:
+                    f.write(b'{"ok": true}\n')
+                    f.flush()
+                elif line:
+                    drops["n"] += 1  # close without replying: drop
+                # makefile dups the fd: close both, or the drop never
+                # reaches the client as an EOF.
+                f.close()
+                conn.close()
+
+        listener = socket_mod.create_server(("127.0.0.1", 0))
+        listener.settimeout(5.0)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=flaky_server, args=(listener, stop), daemon=True
+        )
+        thread.start()
+        try:
+            client = ServeClient(
+                port=port, retry=RetryConfig(3, base=0.01, cap=0.05, jitter=0.0)
+            )
+            assert client.ping()  # first attempt dropped, retry succeeded
+            assert drops["n"] == 1
+            client.close()
+        finally:
+            stop.set()
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_remote_typed_errors_are_not_retried(self):
+        """A live server saying 'no' must not burn the retry budget."""
+        import socket as socket_mod
+
+        from repro.serve import RetryConfig
+
+        served = {"n": 0}
+
+        def refusing_server(listener, stop):
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                f = conn.makefile("rwb")
+                while f.readline():
+                    served["n"] += 1
+                    f.write(b'{"ok": false, "status": "usage", '
+                            b'"error": "no such model"}\n')
+                    f.flush()
+                f.close()
+                conn.close()
+
+        listener = socket_mod.create_server(("127.0.0.1", 0))
+        listener.settimeout(5.0)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=refusing_server, args=(listener, stop), daemon=True
+        )
+        thread.start()
+        try:
+            client = ServeClient(
+                port=port, retry=RetryConfig(3, base=0.2, cap=1.0, jitter=0.0)
+            )
+            with pytest.raises(ConfigurationError):
+                client.request({"op": "solve", "model": "nope"})
+            # the typed error surfaced on the first attempt, unretried.
+            assert served["n"] == 1
+            client.close()
+        finally:
+            stop.set()
+            listener.close()
+            thread.join(timeout=5.0)
