@@ -32,6 +32,14 @@ method with ``SolverConfig.level_batch`` on vs off over the same
 skeletonized H-matrix, asserting the solutions are bitwise identical,
 and writes ``BENCH_levelbatch.json``.
 
+With ``--update-compare`` it instead measures the *incremental-update
+axis* (docs/UPDATES.md): (a) inserting 1% clustered points via
+``FastKernelSolver.update`` vs a from-scratch rebuild — asserting
+1e-10 solution parity and that fewer than 25% of the nodes were
+refactorized — and (b) a 5-value lambda sweep via ``update(lam=...)``
+vs five full rebuilds, asserting the sweep is at least 3x faster.
+Writes ``BENCH_update.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py                # full
@@ -70,6 +78,10 @@ DEFAULT_LEVELBATCH_SIZES = (4096,)
 LEVELBATCH_OUT = (
     pathlib.Path(__file__).parent / "results" / "BENCH_levelbatch.json"
 )
+
+DEFAULT_UPDATE_SIZES = (4096,)
+UPDATE_LAMBDAS = (0.1, 0.5, 1.0, 5.0, 25.0)
+UPDATE_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_update.json"
 
 
 def make_problem(n: int, seed: int = 2017):
@@ -261,6 +273,148 @@ def bench_levelbatch_size(n: int, repeats: int = 7) -> dict:
     }
 
 
+def bench_update_size(n: int, lam: float = 5.0) -> dict:
+    """Incremental update vs from-scratch rebuild at matched accuracy.
+
+    The wide-bandwidth / large-sample recipe keeps the ASKIT
+    approximation error below the 1e-10 parity bar, so the comparison
+    measures the update machinery, not the approximation floor.  The
+    inserted points are clustered (a tight blob around one existing
+    point) — the incremental path's target workload, where the dirty
+    region is a few subtrees rather than the whole tree.
+    """
+    from repro.core.solver import FastKernelSolver
+
+    def make_solver(X):
+        solver = FastKernelSolver(
+            GaussianKernel(bandwidth=8.0),
+            tree_config=TreeConfig(leaf_size=64, seed=0),
+            skeleton_config=SkeletonConfig(
+                tau=1e-12,
+                num_samples=min(2048, n),
+                num_neighbors=64,
+                seed=1,
+            ),
+        )
+        solver.fit(X)
+        return solver
+
+    gen = np.random.default_rng(2017)
+    X = gen.standard_normal((n, 3))
+    Xi = X[7] + 0.02 * gen.standard_normal((max(1, n // 100), 3))
+    X_new = np.concatenate([X, Xi])
+    u = gen.standard_normal(len(X_new))
+
+    # (a) geometry: incremental insert vs full rebuild
+    configure_default_cache()
+    solver = make_solver(X)
+    solver.factorize(lam)
+    t0 = time.perf_counter()
+    solver.update(X_insert=Xi)
+    t_update = time.perf_counter() - t0
+    report = solver.last_update
+
+    configure_default_cache()
+    t0 = time.perf_counter()
+    fresh = make_solver(X_new)
+    fresh.factorize(lam)
+    t_rebuild = time.perf_counter() - t0
+
+    w_upd, w_ref = solver.solve(u), fresh.solve(u)
+    parity = float(
+        np.abs(w_upd - w_ref).max() / max(1.0, np.abs(w_ref).max())
+    )
+    refactored_fraction = report.nodes_refactored / max(1, report.nodes_total)
+    if report.mode != "incremental":
+        raise AssertionError(
+            f"expected the incremental path at n={n}, got {report.mode!r}"
+        )
+    if parity > 1e-10:
+        raise AssertionError(
+            f"update/rebuild parity violated at n={n}: {parity:.3e} > 1e-10"
+        )
+    if refactored_fraction >= 0.25:
+        raise AssertionError(
+            f"update refactorized {refactored_fraction:.1%} of the nodes "
+            f"at n={n}; the incremental contract is < 25%"
+        )
+
+    # (b) lambda sweep: five update(lam=...) refits vs five rebuilds
+    t0 = time.perf_counter()
+    for lam_k in UPDATE_LAMBDAS:
+        solver.update(lam=lam_k)
+    t_sweep = time.perf_counter() - t0
+    t_sweep_rebuild = 0.0
+    for lam_k in UPDATE_LAMBDAS:
+        configure_default_cache()
+        t0 = time.perf_counter()
+        s = make_solver(X_new)
+        s.factorize(lam_k)
+        t_sweep_rebuild += time.perf_counter() - t0
+    sweep_speedup = t_sweep_rebuild / max(t_sweep, 1e-12)
+    if sweep_speedup < 3.0:
+        raise AssertionError(
+            f"lambda sweep speedup {sweep_speedup:.2f}x at n={n}; the "
+            "skeleton-reuse contract is >= 3x over full rebuilds"
+        )
+
+    return {
+        "n": n,
+        "n_inserted": len(Xi),
+        "lam": lam,
+        "update_s": t_update,
+        "rebuild_s": t_rebuild,
+        "speedup_update": t_rebuild / max(t_update, 1e-12),
+        "parity_rel_err": parity,
+        "dirty_leaves": report.dirty_leaves,
+        "dirty_fraction": report.dirty_fraction,
+        "nodes_total": report.nodes_total,
+        "nodes_refactored": report.nodes_refactored,
+        "nodes_reused": report.nodes_reused,
+        "refactored_fraction": refactored_fraction,
+        "sweep_lambdas": list(UPDATE_LAMBDAS),
+        "sweep_update_s": t_sweep,
+        "sweep_rebuild_s": t_sweep_rebuild,
+        "speedup_sweep": sweep_speedup,
+    }
+
+
+def run_update_bench(args) -> int:
+    sizes = args.sizes
+    out = args.out
+    if args.smoke:
+        sizes = [1024]
+        if out == UPDATE_OUT:
+            out = UPDATE_OUT.with_suffix(".smoke.json")
+
+    reset_telemetry()
+    runs = []
+    for n in sizes:
+        print(f"[bench_update] n={n} ...", flush=True)
+        run = bench_update_size(n)
+        runs.append(run)
+        print(
+            f"  update {run['update_s']:.3f}s  rebuild {run['rebuild_s']:.3f}s  "
+            f"speedup {run['speedup_update']:.2f}x  "
+            f"refac {run['refactored_fraction']:.1%}  "
+            f"parity {run['parity_rel_err']:.2e}  "
+            f"sweep {run['speedup_sweep']:.2f}x",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "incremental_update_vs_rebuild",
+        "method": "nlogn direct, clustered 1% inserts + 5-value lambda sweep",
+        "kernel": "gaussian(h=8.0), 3-D standard normal points",
+        "runs": runs,
+        "telemetry": telemetry_snapshot(),
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_update] wrote {out}")
+    return 0
+
+
 def run_levelbatch_bench(args) -> int:
     sizes = args.sizes
     out = args.out
@@ -395,7 +549,20 @@ def main(argv=None) -> int:
         help="benchmark level-batched vs per-node factorization "
              "instead; writes BENCH_levelbatch.json",
     )
+    parser.add_argument(
+        "--update-compare", action="store_true",
+        help="benchmark incremental update() vs full rebuild instead "
+             "(1% clustered inserts + 5-value lambda sweep); writes "
+             "BENCH_update.json",
+    )
     args = parser.parse_args(argv)
+
+    if args.update_compare:
+        if args.out == DEFAULT_OUT:
+            args.out = UPDATE_OUT
+        if args.sizes == list(DEFAULT_SIZES):
+            args.sizes = list(DEFAULT_UPDATE_SIZES)
+        return run_update_bench(args)
 
     if args.level_batch_compare:
         if args.out == DEFAULT_OUT:

@@ -36,10 +36,15 @@ def __getattr__(name: str):
         from repro.core.solver import FastKernelSolver
 
         return FastKernelSolver
+    if name == "UpdateReport":
+        from repro.core.update import UpdateReport
+
+        return UpdateReport
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "FastKernelSolver",
+    "UpdateReport",
     "SolverConfig",
     "SkeletonConfig",
     "TreeConfig",

@@ -222,6 +222,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the final repro.serve/v1 health blob "
                               "here at shutdown (CI artifact)")
 
+    p_update = sub.add_parser(
+        "update",
+        help="incrementally update a model: point insertion/deletion, "
+             "lambda refit, kernel-parameter sweep (docs/UPDATES.md)",
+    )
+    p_update.add_argument("--host", default=None,
+                          help="serve daemon host; with --port, the update "
+                               "targets a resident model over the wire")
+    p_update.add_argument("--port", type=int, default=None,
+                          help="serve daemon port")
+    p_update.add_argument("--checkpoint", metavar="DIR", default=None,
+                          help="offline mode: resume the solver from this "
+                               "checkpoint directory, update it, and "
+                               "re-checkpoint under its new fingerprint")
+    p_update.add_argument("--model", default=None,
+                          help="resident model fingerprint or unique prefix "
+                               "(daemon mode; default: the sole resident)")
+    p_update.add_argument("--insert", metavar="FILE.npy", default=None,
+                          help=".npy file of (k, d) points to insert")
+    p_update.add_argument("--delete", metavar="I,J,K", default=None,
+                          help="comma-separated point indices to delete "
+                               "(in the original fit order)")
+    p_update.add_argument("--lam", type=float, default=None,
+                          help="refactorize at this regularization")
+    p_update.add_argument("--bandwidth", type=float, default=None,
+                          help="kernel bandwidth sweep: refit projections "
+                               "under the new bandwidth, structure frozen")
+    p_update.add_argument("--kernel-param", action="append", default=[],
+                          metavar="NAME=VALUE",
+                          help="generic kernel parameter override "
+                               "(repeatable; e.g. --kernel-param nu=2.5)")
+    p_update.add_argument("--json", action="store_true",
+                          help="emit the update report as JSON")
+
     sub.add_parser("info", help="list datasets and their Table II parameters")
     return parser
 
@@ -445,6 +479,109 @@ def _cmd_serve(args) -> int:
     return EXIT_OK
 
 
+def _cmd_update(args) -> int:
+    """``repro update``: incremental model updates (docs/UPDATES.md).
+
+    Daemon mode (``--host``/``--port``) sends an ``update`` op to a
+    running ``repro serve``; offline mode (``--checkpoint DIR``) resumes
+    the solver, updates it, and re-checkpoints it under the new
+    fingerprint.
+    """
+    kernel_params: dict = {}
+    if args.bandwidth is not None:
+        kernel_params["bandwidth"] = args.bandwidth
+    for item in args.kernel_param:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ConfigurationError(
+                f"--kernel-param needs NAME=VALUE; got {item!r}"
+            )
+        try:
+            kernel_params[name] = json.loads(value)
+        except json.JSONDecodeError:
+            kernel_params[name] = value
+    insert = np.load(args.insert) if args.insert is not None else None
+    delete = (
+        np.asarray([int(tok) for tok in args.delete.split(",") if tok.strip()],
+                   dtype=np.intp)
+        if args.delete is not None else None
+    )
+    if insert is None and delete is None and args.lam is None and not kernel_params:
+        raise ConfigurationError(
+            "update needs --insert, --delete, --lam, --bandwidth, or "
+            "--kernel-param"
+        )
+
+    if (args.host is not None) != (args.port is not None):
+        raise ConfigurationError("daemon mode needs both --host and --port")
+    if args.host is not None and args.checkpoint is not None:
+        raise ConfigurationError(
+            "pick one: --host/--port (daemon) or --checkpoint (offline)"
+        )
+
+    if args.host is not None:
+        from repro.serve import ServeClient
+
+        with ServeClient(args.host, args.port) as client:
+            response = client.update(
+                model=args.model,
+                insert=insert,
+                delete=delete,
+                lam=args.lam,
+                kernel_params=kernel_params or None,
+            )
+        report = response.get("report") or {}
+        if args.json:
+            print(json.dumps(response, indent=2, sort_keys=True))
+        else:
+            print(f"model {response['previous'][:12]} -> "
+                  f"{response['model'][:12]}  mode={report.get('mode')}")
+            _print_update_report(report)
+        return EXIT_OK
+
+    if args.checkpoint is None:
+        raise ConfigurationError(
+            "pick a target: --host/--port (daemon) or --checkpoint DIR"
+        )
+    solver = FastKernelSolver.resume(args.checkpoint)
+    previous = solver.fingerprint()
+    solver.update(
+        X_insert=insert,
+        X_delete=delete,
+        lam=args.lam,
+        kernel_params=kernel_params or None,
+    )
+    path = solver.save_checkpoint(args.checkpoint)
+    report = solver.last_update.to_payload()
+    if args.json:
+        print(json.dumps(
+            {"previous": previous, "model": solver.fingerprint(),
+             "checkpoint": path, "report": report},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"model {previous[:12]} -> {solver.fingerprint()[:12]}  "
+              f"mode={report.get('mode')}")
+        _print_update_report(report)
+        print(f"re-checkpointed at {path}")
+    return EXIT_OK
+
+
+def _print_update_report(report: dict) -> None:
+    if not report:
+        return
+    if report.get("mode") in ("incremental", "rebuild"):
+        print(f"  inserted {report.get('n_inserted', 0)}  "
+              f"deleted {report.get('n_deleted', 0)}  "
+              f"dirty leaves {report.get('dirty_leaves', 0)} "
+              f"({100 * report.get('dirty_fraction', 0.0):.1f}% of points)")
+    total = report.get("nodes_total", 0)
+    if total:
+        print(f"  refactorized {report.get('nodes_refactored', 0)}/{total} "
+              f"nodes ({report.get('nodes_reused', 0)} transplanted)")
+    print(f"  {report.get('seconds', 0.0):.3f}s")
+
+
 def _cmd_info(_args) -> int:
     print(f"{'dataset':<10} {'d':>5} {'h':>6} {'lambda':>8} {'paper N':>10} {'paper Acc':>10}")
     for name in DATASET_NAMES:
@@ -460,6 +597,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "checkpoint": _cmd_checkpoint,
     "serve": _cmd_serve,
+    "update": _cmd_update,
     "info": _cmd_info,
 }
 

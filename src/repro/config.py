@@ -341,6 +341,14 @@ class SolverConfig:
     #: to the REPRO_VMPI_BACKEND environment (docs/PARALLELISM.md).
     backend: str | None = None
 
+    #: incremental updates (docs/UPDATES.md): when a point
+    #: insertion/deletion dirties more than this fraction of the point
+    #: set (touched leaves + their subtree populations), ``update()``
+    #: falls back to a full rebuild — past that point the local repair
+    #: does most of the rebuild's work anyway while the frozen-topology
+    #: tree keeps drifting from balance.
+    update_rebuild_threshold: float = 0.25
+
     #: numerical recovery ladder (off by default; see RecoveryConfig).
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
@@ -354,7 +362,9 @@ class SolverConfig:
     #: backends and both batching modes produce bitwise-identical
     #: factors, so checkpoint fingerprints ignore them (see
     #: resilience/checkpoint.py).
-    _FINGERPRINT_EXCLUDE = frozenset({"backend", "level_batch"})
+    _FINGERPRINT_EXCLUDE = frozenset(
+        {"backend", "level_batch", "update_rebuild_threshold"}
+    )
 
     def __post_init__(self) -> None:
         if self.method not in self._METHODS:
@@ -379,6 +389,11 @@ class SolverConfig:
             raise ConfigurationError(
                 "backend must be 'thread', 'process', 'socket', or None; "
                 f"got {self.backend!r}"
+            )
+        if not 0.0 < self.update_rebuild_threshold <= 1.0:
+            raise ConfigurationError(
+                "update_rebuild_threshold must be in (0, 1]; "
+                f"got {self.update_rebuild_threshold!r}"
             )
         if self.storage == "low" and self.method == "nlog2n":
             raise ConfigurationError(

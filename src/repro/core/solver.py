@@ -111,6 +111,8 @@ class FastKernelSolver:
         #: this solver's series — two resident solvers in one process no
         #: longer interleave (docs/OBSERVABILITY.md).
         self.telemetry_label: str | None = None
+        #: report of the last :meth:`update` call (None before any).
+        self.last_update = None
         self._X: np.ndarray | None = None
         self._X_norms: np.ndarray | None = None
         #: pipeline deadline (created at fit() from solver_config.resilience;
@@ -304,6 +306,54 @@ class FastKernelSolver:
             )
         return self
 
+    def update(
+        self,
+        *,
+        X_insert: np.ndarray | None = None,
+        X_delete: np.ndarray | None = None,
+        lam: float | None = None,
+        kernel_params: dict | None = None,
+    ) -> "FastKernelSolver":
+        """Incrementally update the fitted model (docs/UPDATES.md).
+
+        * ``X_insert`` — (k, d) new points, routed to their owning
+          leaves through the recorded splitting hyperplanes; only the
+          dirty subtrees are re-skeletonized and refactorized, clean
+          factors are transplanted verbatim.
+        * ``X_delete`` — indices (in the caller's point order, i.e.
+          rows of the ``X`` passed to :meth:`fit`) to remove.  After
+          the update the surviving points keep their relative order and
+          inserted points follow, so the new point order is
+          ``concat(delete(X_old, X_delete), X_insert)``.
+        * ``lam`` — refactorize at a new regularization, reusing the
+          tree, skeletons, and cached kernel blocks (the paper's
+          cross-validation loop).  An unchanged ``lam`` is a no-op.
+        * ``kernel_params`` — e.g. ``{"bandwidth": 0.7}``: keep the
+          skeleton structure frozen and least-squares refit the
+          projections under the new kernel, then refactorize.  Cannot
+          be combined with point changes in one call.
+
+        Past ``solver_config.update_rebuild_threshold`` dirty fraction
+        — or when the tree cannot route new points — the update falls
+        back to a full rebuild; either way the solver ends consistent
+        and (when previously factorized or ``lam`` is given) ready to
+        :meth:`solve`.  The structured :class:`~repro.core.update.UpdateReport`
+        lands in :attr:`last_update`; an exception leaves the solver
+        unchanged.
+        """
+        self._require_fitted()
+        from repro.core.update import apply_update
+
+        with self._metric_scope():
+            self.last_update = apply_update(
+                self,
+                X_insert=X_insert,
+                X_delete=X_delete,
+                lam=lam,
+                kernel_params=kernel_params,
+            )
+        return self
+
     # ------------------------------------------------------------------
     def _to_tree(self, u: np.ndarray) -> np.ndarray:
         return u[self.hmatrix.tree.perm]
@@ -488,6 +538,13 @@ class FastKernelSolver:
                 "refusing to resume from inconsistent state"
             )
         solver.hmatrix = cp.load("skeletons")
+        if solver.hmatrix.n_points != solver._X.shape[0]:
+            raise CheckpointError(
+                f"checkpoint at {cp.path} holds skeletons for "
+                f"{solver.hmatrix.n_points} points but data for "
+                f"{solver._X.shape[0]}; the model was updated without "
+                "re-checkpointing — refusing to resume"
+            )
         if cp.has("state"):
             state = cp.load("state")
             solver.factorization = state["factorization"]

@@ -27,6 +27,7 @@ __all__ = [
     "BudgetExhaustedError",
     "CheckpointError",
     "OverloadedError",
+    "ResidentEvictedError",
 ]
 
 
@@ -190,6 +191,19 @@ class OverloadedError(ReproError, RuntimeError):
     client can safely retry against another replica or after backoff.
     The CLI/daemon map it to exit/status code
     :data:`repro.cli.EXIT_OVERLOADED`.
+    """
+
+
+class ResidentEvictedError(ReproError, KeyError):
+    """A resident model vanished between lookup and use.
+
+    Raised by :meth:`repro.serve.ModelRegistry.peek` when the
+    fingerprint was resident at dispatch time but was evicted — or
+    invalidated by an in-place :meth:`~repro.serve.ModelRegistry.update_resident`
+    — before the solve pinned it.  Subclasses :class:`KeyError` so
+    callers treating "not resident" generically keep working; the
+    daemon maps it to status ``"evicted"`` so clients can distinguish
+    "reload and retry" from a plain unknown-model usage error.
     """
 
 

@@ -73,15 +73,19 @@ class KernelRidgeRegressor:
         """Re-train on new labels and/or lambda, reusing the skeletons.
 
         This is the paper's cross-validation fast path: the ASKIT
-        construction is shared across lambda values, only the
-        factorization is redone.
+        construction is shared across lambda values, and the
+        factorization is shared too when ``lam`` is unchanged — going
+        through :meth:`FastKernelSolver.update` guarantees the solve
+        never runs against factors telescoped at a *different* lambda
+        (a changed ``lam`` always refactorizes, an unchanged one never
+        does), instead of trusting callers to keep them in sync.
         """
         if self.solver.hmatrix is None:
             raise NotFactorizedError("call fit(X, y) before refit")
         if lam is not None:
             self.lam = float(lam)
         y = check_vector(y, self.solver.n_points, "y")
-        self.solver.factorize(self.lam)
+        self.solver.update(lam=self.lam)
         self.weights, info = self.solver.solve_with_info(y)
         self.train_residual = info.residual
         return self

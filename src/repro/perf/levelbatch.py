@@ -48,6 +48,7 @@ __all__ = [
     "BatchPolicy",
     "batching_enabled",
     "group_by_key",
+    "partition_resume",
     "stacked_kernel_blocks",
     "one_norms_stacked",
     "materialize_summations",
@@ -118,6 +119,22 @@ def group_by_key(
     for i, item in enumerate(items):
         groups.setdefault(key(item), []).append(i)
     return groups
+
+
+def partition_resume(nodes: Sequence, resume: dict) -> tuple[list, list]:
+    """Split a level's nodes into ``(compute, restore)`` lists.
+
+    Dirty-level restacking for incremental updates: nodes present in
+    the ``resume`` payload map re-enter the factorization as standalone
+    transplanted arrays, so they are excluded from the level's
+    shape-group stacking — only the recomputed remainder is batched —
+    and the parent level's P^ gather falls back to its
+    layout-preserving copy path for them automatically (they hold no
+    stack slot).  Node order is preserved inside both lists.
+    """
+    compute = [n for n in nodes if n.id not in resume]
+    restore = [n for n in nodes if n.id in resume]
+    return compute, restore
 
 
 def stacked_kernel_blocks(

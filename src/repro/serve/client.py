@@ -25,6 +25,7 @@ from repro.exceptions import (
     DeadlineExceededError,
     OverloadedError,
     ReproError,
+    ResidentEvictedError,
     ServeUnavailableError,
     StabilityError,
 )
@@ -34,6 +35,7 @@ __all__ = ["ServeClient", "RemoteServeError", "RetryConfig"]
 _STATUS_EXCEPTIONS = {
     "overloaded": OverloadedError,
     "deadline": DeadlineExceededError,
+    "evicted": ResidentEvictedError,
     "usage": ConfigurationError,
     "checkpoint": CheckpointError,
     "numerical": StabilityError,
@@ -247,6 +249,34 @@ class ServeClient:
         if lam is not None:
             payload["lam"] = lam
         return self.request(payload)["model"]
+
+    def update(
+        self,
+        *,
+        model: str | None = None,
+        insert=None,
+        delete=None,
+        lam: float | None = None,
+        kernel_params: dict | None = None,
+    ) -> dict:
+        """Incrementally update a resident model in place.
+
+        Returns the response payload: ``previous`` (invalidated
+        fingerprint), ``model`` (the new fingerprint to solve against),
+        and ``report`` (the structured update digest).
+        """
+        payload: dict = {"op": "update"}
+        if model is not None:
+            payload["model"] = model
+        if insert is not None:
+            payload["insert"] = np.asarray(insert, dtype=np.float64).tolist()
+        if delete is not None:
+            payload["delete"] = np.asarray(delete, dtype=np.intp).tolist()
+        if lam is not None:
+            payload["lam"] = lam
+        if kernel_params is not None:
+            payload["kernel_params"] = dict(kernel_params)
+        return self.request(payload)
 
     def evict(self, model: str) -> bool:
         return bool(self.request({"op": "evict", "model": model})["evicted"])

@@ -17,6 +17,12 @@ response object per line, in order, per connection:
     resident fingerprints.
 ``{"op": "load", "dir": path, "lam": float?}`` / ``{"op": "evict", "model": fp}``
     registry lifecycle.
+``{"op": "update", "model": fp?, "insert": [[...]]?, "delete": [...]?,``
+``  "lam": float?, "kernel_params": {...}?}``
+    incrementally update a resident model in place (point
+    insertion/deletion, lambda refit, kernel-parameter sweep); the
+    response carries the model's *new* fingerprint and the structured
+    update report (docs/UPDATES.md).
 ``{"op": "shutdown"}``
     stop the daemon (the response is sent first).
 
@@ -47,6 +53,7 @@ from repro.exceptions import (
     DeadlineExceededError,
     OverloadedError,
     ReproError,
+    ResidentEvictedError,
     StabilityError,
 )
 from repro.serve.service import SolverService
@@ -66,6 +73,10 @@ def error_payload(exc: BaseException) -> dict:
         status, code = "overloaded", cli.EXIT_OVERLOADED
     elif isinstance(exc, DeadlineExceededError):
         status, code = "deadline", cli.EXIT_DEADLINE
+    elif isinstance(exc, ResidentEvictedError):
+        # before the generic KeyError rung: "was resident, vanished
+        # mid-flight" means reload-and-retry, not a usage error.
+        status, code = "evicted", cli.EXIT_ERROR
     elif isinstance(exc, (ConfigurationError, KeyError, ValueError)):
         status, code = "usage", cli.EXIT_USAGE
     elif isinstance(exc, CheckpointError):
@@ -197,6 +208,12 @@ class ServeDaemon:
                     ),
                 )
                 return {"ok": True, "op": "load", "model": fingerprint}
+            if op == "update":
+                # run in the pool: the re-factorization is CPU-heavy
+                # and must not stall the event loop's solve admissions.
+                return await loop.run_in_executor(
+                    self._pool, self._update_blocking, request
+                )
             if op == "evict":
                 fingerprint = self.service.registry.resolve(
                     request.get("model")
@@ -227,6 +244,25 @@ class ServeDaemon:
                 "columns": [r.to_payload() for r in result],
             }
         return {"ok": True, "op": "solve", **result.to_payload()}
+
+    def _update_blocking(self, request: dict) -> dict:
+        insert = request.get("insert")
+        if insert is not None:
+            insert = np.asarray(insert, dtype=np.float64)
+        delete = request.get("delete")
+        if delete is not None:
+            delete = np.asarray(delete, dtype=np.intp)
+        kernel_params = request.get("kernel_params")
+        if kernel_params is not None and not isinstance(kernel_params, dict):
+            raise ValueError("kernel_params must be a JSON object")
+        result = self.service.update(
+            model=request.get("model"),
+            X_insert=insert,
+            X_delete=delete,
+            lam=request.get("lam"),
+            kernel_params=kernel_params,
+        )
+        return {"ok": True, "op": "update", **result}
 
 
 async def _serve(daemon: ServeDaemon, *, health_out: str | None) -> None:

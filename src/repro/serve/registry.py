@@ -35,6 +35,7 @@ from repro.exceptions import (
     ConfigurationError,
     NotFactorizedError,
     OverloadedError,
+    ResidentEvictedError,
 )
 from repro.obs import registry as metrics_registry
 
@@ -198,11 +199,20 @@ class ModelRegistry:
         The coalescer flush path uses this: the request already counted
         its hit at admission, and a flush must not re-order the LRU
         under the admissions that funded it.
+
+        Raises
+        ------
+        ResidentEvictedError
+            When the fingerprint was resident at admission time but was
+            evicted — or invalidated by :meth:`update_resident` — before
+            this flush pinned it.  A :class:`KeyError` subclass, but
+            typed so the daemon can tell the client "reload and retry"
+            instead of "unknown model".
         """
         with self._lock:
             model = self._models.get(fingerprint)
             if model is None:
-                raise KeyError(
+                raise ResidentEvictedError(
                     f"resident model {fingerprint!r} was evicted mid-flight"
                 )
             return model
@@ -242,6 +252,80 @@ class ModelRegistry:
                 reg.gauge("serve.registry.residents").set(len(self._models))
                 reg.gauge("serve.registry.words").set(self._resident_words())
             return model is not None
+
+    def resolve_for_update(self, fingerprint: str | None) -> str:
+        """:meth:`resolve`, but a name matching *nothing* raises
+        :class:`~repro.exceptions.ResidentEvictedError` instead of a
+        bare ``KeyError``: in the update protocol a vanished fingerprint
+        means a concurrent update or eviction rotated it away, and the
+        client should re-list models and retry, not fix its request.
+        Ambiguous prefixes and an empty/crowded registry stay usage
+        errors.
+        """
+        try:
+            return self.resolve(fingerprint)
+        except ResidentEvictedError:
+            raise
+        except KeyError as exc:
+            if fingerprint is None or "(0 candidates)" not in str(exc):
+                raise
+            raise ResidentEvictedError(
+                f"resident model {fingerprint!r} was evicted mid-flight"
+            ) from exc
+
+    def update_resident(
+        self,
+        fingerprint: str,
+        *,
+        X_insert=None,
+        X_delete=None,
+        lam: float | None = None,
+        kernel_params: dict | None = None,
+    ) -> str:
+        """Incrementally update a resident model in place; returns the
+        *new* fingerprint it is resident under.
+
+        The update mutates the model's data, so its
+        ``config_fingerprint`` changes: the stale entry is removed
+        *before* the mutation starts (atomically w.r.t. concurrent
+        :meth:`peek`/:meth:`get` — an in-flight solve that already holds
+        the :class:`ResidentModel` reference finishes against the
+        pre-update factors; a later flush gets
+        :class:`~repro.exceptions.ResidentEvictedError` and the client
+        retries against the new fingerprint).  On update failure the
+        stale entry is *not* re-admitted — its fingerprint promises a
+        state the solver may no longer be in.
+
+        Accepts a unique fingerprint prefix, like every other lookup
+        (see :meth:`resolve_for_update` for the eviction-typed variant).
+        """
+        fingerprint = self.resolve_for_update(fingerprint)
+        reg = metrics_registry()
+        with self._lock:
+            model = self._models.pop(fingerprint, None)
+            if model is None:
+                raise ResidentEvictedError(
+                    f"resident model {fingerprint!r} was evicted mid-flight"
+                )
+            reg.gauge("serve.registry.residents").set(len(self._models))
+            reg.gauge("serve.registry.words").set(self._resident_words())
+        try:
+            model.solver.update(
+                X_insert=X_insert,
+                X_delete=X_delete,
+                lam=lam,
+                kernel_params=kernel_params,
+            )
+        except Exception:
+            reg.counter("serve.registry.update_failures").inc()
+            raise
+        reg.counter("serve.registry.updates").inc()
+        new_fp = self.register(model.solver, source=model.source)
+        with self._lock:
+            resident = self._models.get(new_fp)
+            if resident is not None:
+                resident.solves = model.solves
+        return new_fp
 
     def fingerprints(self) -> list[str]:
         with self._lock:

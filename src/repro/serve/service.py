@@ -237,6 +237,53 @@ class SolverService:
         return results
 
     # ------------------------------------------------------------------
+    # incremental updates (docs/UPDATES.md)
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        *,
+        model: str | None = None,
+        X_insert: np.ndarray | None = None,
+        X_delete=None,
+        lam: float | None = None,
+        kernel_params: dict | None = None,
+    ) -> dict:
+        """Incrementally update a resident model in place.
+
+        Resolves ``model`` like :meth:`solve` and delegates to
+        :meth:`ModelRegistry.update_resident`: the stale fingerprint is
+        invalidated atomically, the solver is updated
+        (:meth:`FastKernelSolver.update`), and the model is re-admitted
+        under its new fingerprint.  Counts against ``max_pending`` like
+        any other request so a flood of updates cannot starve solves.
+
+        Returns ``{"previous", "model", "report"}`` with the old and
+        new fingerprints and the structured
+        :class:`~repro.core.update.UpdateReport` payload.
+        """
+        fingerprint = self.registry.resolve_for_update(model)
+        self._admit()
+        try:
+            new_fp = self.registry.update_resident(
+                fingerprint,
+                X_insert=X_insert,
+                X_delete=X_delete,
+                lam=lam,
+                kernel_params=kernel_params,
+            )
+        finally:
+            self._release()
+        with self._pending_lock:
+            self._served += 1
+        resident = self.registry.peek(new_fp)
+        report = resident.solver.last_update
+        return {
+            "previous": fingerprint,
+            "model": new_fp,
+            "report": report.to_payload() if report is not None else None,
+        }
+
+    # ------------------------------------------------------------------
     # health / lifecycle
     # ------------------------------------------------------------------
     def health(self) -> dict:

@@ -142,6 +142,9 @@ class HierarchicalFactorization:
         #: tree levels whose factors are complete (checkpoint/resume
         #: granularity; includes restored levels).
         self.completed_levels: set[int] = set()
+        #: nodes transplanted from a prior factorization during an
+        #: incremental update (``factorize(resume_nodes=...)``).
+        self.nodes_resumed: int = 0
         #: contiguous per-level factor storage (level -> list of stacked
         #: arrays); the per-node ``LeafFactor``/``InternalFactor`` fields
         #: are *views* into these stacks when the level was batched.
@@ -1252,6 +1255,7 @@ def factorize(
     *,
     deadline=None,
     resume_levels: dict[int, dict] | None = None,
+    resume_nodes: dict[int, dict] | None = None,
     on_level=None,
     partial_sink: list | None = None,
 ) -> HierarchicalFactorization:
@@ -1276,6 +1280,16 @@ def factorize(
         contiguous deepest levels are transplanted instead of recomputed
         (resume-from-checkpoint; contiguity is enforced here, so a gap
         falls back to recomputing).
+    resume_nodes:
+        ``{node_id: payload}`` from :meth:`export_node_payload` — *node*
+        granularity transplant for incremental updates: clean-subtree
+        factors are restored verbatim (their inputs are unchanged, so a
+        recompute would be bitwise identical) and only the remaining
+        dirty nodes are factored.  Unlike ``resume_levels`` no
+        contiguity is required — validity is the caller's contract that
+        every resumed node's *entire subtree* is unchanged.  Restored
+        nodes charge no deadline work and skip level stacking
+        (:func:`repro.perf.levelbatch.partition_resume`).
     on_level:
         ``on_level(level, fact)`` called after each freshly computed
         level (the checkpoint write hook).
@@ -1355,23 +1369,41 @@ def factorize(
             fact.restore_level_payload(resume_levels[level])
             continue
         restorable = False
+        members = by_level[level]
+        todo = members
+        restored: list[Node] = []
+        if resume_nodes:
+            todo, restored = levelbatch.partition_resume(members, resume_nodes)
+            for node in restored:
+                fact.restore_node_payload(resume_nodes[node.id])
         with span(
             "factorize.level",
-            attrs={"level": level, "nodes": len(by_level[level])},
+            attrs={"level": level, "nodes": len(todo)},
         ):
-            if fact._batch_policy is not None:
+            if fact._batch_policy is not None and todo:
                 fact._factor_level_batched(
-                    by_level[level],
+                    todo,
                     level,
                     fact._batch_policy,
                     deadline,
                     factor_one,
                 )
             else:
-                for node in by_level[level]:
+                for node in todo:
                     if deadline is not None:
                         deadline.charge(1, f"factorize.node({node.id})")
                     factor_one(node)
+        if restored:
+            fact.nodes_resumed += len(restored)
+            # restores and computes interleave out of node order; restore
+            # the per-node visit order so order-dependent accumulations
+            # over the factor dicts (slogdet) stay bitwise identical to
+            # a from-scratch factorization of the same H-matrix.
+            for node in members:
+                if node.id in fact.leaf_factors:
+                    fact.leaf_factors[node.id] = fact.leaf_factors.pop(node.id)
+                else:
+                    fact.node_factors[node.id] = fact.node_factors.pop(node.id)
         fact.completed_levels.add(level)
         if on_level is not None:
             on_level(level, fact)

@@ -232,6 +232,7 @@ def robust_factorize(
     *,
     deadline=None,
     resume_levels: dict[int, dict] | None = None,
+    resume_nodes: dict[int, dict] | None = None,
     on_level=None,
     partial_sink: list | None = None,
 ) -> tuple[HierarchicalFactorization | IterativeFallback, SolverHealth]:
@@ -266,6 +267,7 @@ def robust_factorize(
             config,
             deadline=deadline,
             resume_levels=resume_levels,
+            resume_nodes=resume_nodes,
             on_level=on_level,
             partial_sink=partial_sink,
         )

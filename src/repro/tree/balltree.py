@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.config import TreeConfig
 from repro.tree.node import Node
-from repro.tree.partition import median_split
+from repro.tree.partition import median_split_plane
 from repro.util.random import as_generator
 from repro.util.validation import check_points
 
@@ -61,6 +61,12 @@ class BallTree:
 
         rng = as_generator(self.config.seed)
         self._nodes: dict[int, Node] = {}
+        #: per-internal-node splitting hyperplane ``(direction, cut)``
+        #: recorded at build time: a point with ``x @ direction <= cut``
+        #: belongs to the left child.  This is what lets incremental
+        #: updates route *new* points to the leaf that would have owned
+        #: them (:meth:`route_point`) without rebuilding the tree.
+        self.splits: dict[int, tuple[np.ndarray, float]] = {}
         perm = np.empty(self.n_points, dtype=np.intp)
 
         # Iterative level-by-level build (mirrors the paper's level-wise
@@ -76,7 +82,8 @@ class BallTree:
                 if level == self.depth:
                     perm[lo:hi] = idx
                 else:
-                    left, right = median_split(X, idx, rng)
+                    left, right, direction, cut = median_split_plane(X, idx, rng)
+                    self.splits[node_id] = (direction, cut)
                     next_frontier.append((2 * node_id, level + 1, lo, left))
                     next_frontier.append((2 * node_id + 1, level + 1, lo + len(left), right))
             frontier = next_frontier
@@ -139,6 +146,44 @@ class BallTree:
     def node_points(self, node: Node) -> np.ndarray:
         """View of the permuted points owned by ``node``."""
         return self.points[node.lo : node.hi]
+
+    # -- incremental-update routing (repro.tree.update) ------------------
+    @property
+    def has_routing(self) -> bool:
+        """Whether splitting hyperplanes are available for routing.
+
+        Trees unpickled from checkpoints written before splits were
+        recorded have none; incremental updates then fall back to a
+        full rebuild.
+        """
+        return self.depth == 0 or bool(getattr(self, "splits", None))
+
+    def route_point(self, x: np.ndarray) -> Node:
+        """The leaf that would own a new point ``x``.
+
+        Descends the recorded splitting hyperplanes from the root —
+        O(d log N), no tree mutation.
+        """
+        if not self.has_routing:
+            raise ValueError(
+                "this tree records no splitting hyperplanes (built before "
+                "routing existed); rebuild it to route new points"
+            )
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        node = self.root
+        while not self.is_leaf(node):
+            direction, cut = self.splits[node.id]
+            child = node.left_id if float(x @ direction) <= cut else node.right_id
+            node = self._nodes[child]
+        return node
+
+    def leaf_of_position(self, pos: int) -> Node:
+        """The leaf owning tree position ``pos`` (leaves are contiguous)."""
+        if not 0 <= pos < self.n_points:
+            raise IndexError(f"tree position {pos} out of range")
+        leaves = self.leaves()
+        lows = np.fromiter((l.lo for l in leaves), dtype=np.intp, count=len(leaves))
+        return leaves[int(np.searchsorted(lows, pos, side="right")) - 1]
 
     def subtree_at(self, node: Node, target_level: int) -> list[Node]:
         """Descendants of ``node`` at absolute level ``target_level``."""

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.util.flops import count_flops
 
-__all__ = ["split_direction", "median_split"]
+__all__ = ["split_direction", "median_split", "median_split_plane"]
 
 
 def split_direction(X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -50,6 +50,23 @@ def median_split(
     regardless of ties (``argpartition`` breaks them arbitrarily but
     deterministically), which is what keeps all leaves at one level.
     """
+    left, right, _, _ = median_split_plane(X, idx, rng)
+    return left, right
+
+
+def median_split_plane(
+    X: np.ndarray, idx: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """:func:`median_split` that also returns the splitting hyperplane.
+
+    Returns ``(left, right, direction, cut)``: a point ``x`` routes to
+    the left half when ``x @ direction <= cut``.  ``cut`` is the
+    midpoint between the largest left projection and the smallest right
+    projection, so later points route to the half whose projections
+    they fall among (ties at the median may land on either side — any
+    deterministic rule is fine for routing, the original assignment is
+    already frozen in the tree).
+    """
     n = len(idx)
     if n < 2:
         raise ValueError("cannot split a node with fewer than 2 points")
@@ -60,4 +77,8 @@ def median_split(
     order = np.argpartition(proj, half_left - 1)
     left = idx[order[:half_left]]
     right = idx[order[half_left:]]
-    return left, right
+    cut = 0.5 * (
+        float(np.max(proj[order[:half_left]]))
+        + float(np.min(proj[order[half_left:]]))
+    )
+    return left, right, direction, cut

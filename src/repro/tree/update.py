@@ -1,0 +1,220 @@
+"""Incremental point insertion/deletion on a built ball tree.
+
+The tree's *topology* (heap ids, depth, splitting hyperplanes) is kept
+frozen; only the leaf memberships change.  New points are routed to the
+leaf that would have owned them via the recorded splitting hyperplanes
+(:meth:`~repro.tree.balltree.BallTree.route_point`), deleted points are
+dropped from their leaf, and every node's ``[lo, hi)`` slice is
+recomputed from the new leaf sizes.  The result is a new
+:class:`~repro.tree.balltree.BallTree` sharing the old split planes,
+plus the position map clean skeletons are re-indexed through
+(:mod:`repro.skeleton.update`).
+
+Freezing the topology is what makes the downstream repair *local*
+(Ryan–Damle, arXiv:2001.11619): only the leaves that gained or lost
+points — and their root paths — carry stale skeletons and factors.
+The trade-off is that leaf sizes drift from the median split's balance;
+past the configured dirty-fraction threshold the caller rebuilds from
+scratch instead (see docs/UPDATES.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tree.balltree import BallTree
+from repro.tree.node import Node
+
+__all__ = ["TreeUpdate", "apply_point_updates"]
+
+
+@dataclass
+class TreeUpdate:
+    """Result of :func:`apply_point_updates`.
+
+    Attributes
+    ----------
+    tree:
+        The updated tree (same heap topology/depth/split planes as the
+        input, new point storage and node offsets).
+    pos_map:
+        ``(n_old,)`` array mapping old tree positions to new tree
+        positions; deleted positions map to ``-1``.
+    dirty_leaves:
+        Heap ids of the leaves whose point sets changed.
+    dirty_points:
+        Total points (new count) owned by the dirty leaves.
+    n_inserted, n_deleted:
+        Update sizes.
+    """
+
+    tree: BallTree
+    pos_map: np.ndarray
+    dirty_leaves: list[int]
+    dirty_points: int
+    n_inserted: int
+    n_deleted: int
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of the (new) point set living in dirty leaves."""
+        return self.dirty_points / max(self.tree.n_points, 1)
+
+
+def apply_point_updates(
+    tree: BallTree,
+    X_insert: np.ndarray | None = None,
+    delete_positions: np.ndarray | None = None,
+) -> TreeUpdate:
+    """Insert/delete points on ``tree`` without changing its topology.
+
+    Parameters
+    ----------
+    tree:
+        Built tree with recorded splitting hyperplanes
+        (:attr:`~repro.tree.balltree.BallTree.has_routing`).
+    X_insert:
+        Optional ``(k, d)`` new points, routed to their owning leaves.
+    delete_positions:
+        Optional unique *tree positions* to remove.
+
+    New user-order indexing after the update: surviving points keep
+    their relative order and are followed by the inserted rows, so the
+    new user order is ``concat(delete(X_old, deleted), X_insert)``.
+    Inside each leaf, survivors keep their relative tree order and
+    inserted points are appended in insertion order — fully
+    deterministic, which is what keeps updated solvers bitwise
+    checkpointable.
+
+    Raises
+    ------
+    ConfigurationError
+        When the tree has no routing planes, a leaf would be emptied,
+        or every point would be deleted — the caller should fall back
+        to a full rebuild.
+    """
+    n_old = tree.n_points
+    if X_insert is not None:
+        X_insert = np.ascontiguousarray(X_insert, dtype=np.float64)
+        if X_insert.ndim != 2 or X_insert.shape[1] != tree.n_dims:
+            raise ConfigurationError(
+                f"X_insert must be (k, {tree.n_dims}); got {X_insert.shape}"
+            )
+        if X_insert.shape[0] == 0:
+            X_insert = None
+    n_ins = 0 if X_insert is None else X_insert.shape[0]
+
+    if delete_positions is None:
+        delete_positions = np.empty(0, dtype=np.intp)
+    else:
+        delete_positions = np.unique(np.asarray(delete_positions, dtype=np.intp))
+        if len(delete_positions) and (
+            delete_positions[0] < 0 or delete_positions[-1] >= n_old
+        ):
+            raise ConfigurationError(
+                f"delete positions out of range [0, {n_old})"
+            )
+    n_del = len(delete_positions)
+    if n_del >= n_old + n_ins:
+        raise ConfigurationError("update would delete every point")
+    if n_ins and not tree.has_routing:
+        raise ConfigurationError(
+            "tree records no splitting hyperplanes; cannot route new points"
+        )
+
+    keep = np.ones(n_old, dtype=bool)
+    keep[delete_positions] = False
+
+    leaves = tree.leaves()
+    # route inserts; collect deletions per leaf
+    assigned: dict[int, list[int]] = {}
+    if X_insert is not None:
+        for j in range(n_ins):
+            leaf = tree.route_point(X_insert[j])
+            assigned.setdefault(leaf.id, []).append(j)
+    dirty = set(assigned)
+    if n_del:
+        lows = np.fromiter((l.lo for l in leaves), dtype=np.intp, count=len(leaves))
+        owners = np.searchsorted(lows, delete_positions, side="right") - 1
+        dirty.update(leaves[int(i)].id for i in np.unique(owners))
+
+    # per-leaf new content, in leaf (left-to-right) order
+    pos_map = np.full(n_old, -1, dtype=np.intp)
+    chunks: list[np.ndarray] = []
+    perm_chunks: list[np.ndarray] = []
+    sizes: list[int] = []
+    # survivors keep their old user index minus the deleted ones before it;
+    # inserted row j gets user index (n_old - n_del + j).
+    deleted_users = np.sort(tree.perm[delete_positions]) if n_del else None
+    cursor = 0
+    for leaf in leaves:
+        old_pos = np.arange(leaf.lo, leaf.hi, dtype=np.intp)
+        kept = old_pos[keep[leaf.lo : leaf.hi]]
+        ins = assigned.get(leaf.id, [])
+        size = len(kept) + len(ins)
+        if size == 0:
+            raise ConfigurationError(
+                f"update would empty leaf {leaf.id}; a full rebuild is "
+                "required to re-balance the tree"
+            )
+        pos_map[kept] = cursor + np.arange(len(kept), dtype=np.intp)
+        chunks.append(tree.points[kept])
+        users = tree.perm[kept]
+        if deleted_users is not None:
+            users = users - np.searchsorted(deleted_users, users)
+        if ins:
+            chunks.append(X_insert[ins])
+            users = np.concatenate(
+                [users, n_old - n_del + np.asarray(ins, dtype=np.intp)]
+            )
+        perm_chunks.append(users)
+        sizes.append(size)
+        cursor += size
+
+    n_new = cursor
+    new_points = np.ascontiguousarray(np.concatenate(chunks, axis=0))
+    new_perm = np.concatenate(perm_chunks)
+
+    # recompute node offsets: leaves from the prefix sums, internals
+    # from their children (the heap topology is unchanged).
+    new_nodes: dict[int, Node] = {}
+    lo = 0
+    for leaf, size in zip(leaves, sizes):
+        new_nodes[leaf.id] = Node(id=leaf.id, level=leaf.level, lo=lo, hi=lo + size)
+        lo += size
+    for level in range(tree.depth - 1, -1, -1):
+        for node in tree.level_nodes(level):
+            left = new_nodes[node.left_id]
+            right = new_nodes[node.right_id]
+            new_nodes[node.id] = Node(
+                id=node.id, level=node.level, lo=left.lo, hi=right.hi
+            )
+
+    new_tree = object.__new__(BallTree)
+    new_tree.config = tree.config
+    new_tree.n_points = n_new
+    new_tree.n_dims = tree.n_dims
+    new_tree.depth = tree.depth
+    new_tree.splits = getattr(tree, "splits", {})
+    new_tree._nodes = new_nodes
+    new_tree.perm = new_perm
+    new_tree.iperm = np.empty_like(new_perm)
+    new_tree.iperm[new_perm] = np.arange(n_new, dtype=np.intp)
+    new_tree.points = new_points
+    assert new_points.dtype == np.float64, new_points.dtype
+
+    dirty_leaves = sorted(dirty)
+    dirty_points = sum(
+        new_nodes[lid].size for lid in dirty_leaves
+    )
+    return TreeUpdate(
+        tree=new_tree,
+        pos_map=pos_map,
+        dirty_leaves=dirty_leaves,
+        dirty_points=dirty_points,
+        n_inserted=n_ins,
+        n_deleted=n_del,
+    )

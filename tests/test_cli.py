@@ -160,3 +160,69 @@ class TestCheckpointCommands:
         code = main(["solve", *SMALL, "--deadline", "3600"])
         assert code == EXIT_OK
         assert "residual" in capsys.readouterr().out
+
+
+class TestUpdateCommand:
+    def _checkpointed_solver(self, tmp_path):
+        import numpy as np
+
+        from repro import FastKernelSolver, GaussianKernel
+        from repro.config import SkeletonConfig, TreeConfig
+
+        X = np.random.default_rng(0).standard_normal((256, 3))
+        solver = FastKernelSolver(
+            GaussianKernel(bandwidth=2.0),
+            tree_config=TreeConfig(leaf_size=64, seed=0),
+            skeleton_config=SkeletonConfig(
+                tau=1e-6, max_rank=48, num_samples=96, num_neighbors=0, seed=0
+            ),
+        )
+        solver.fit(X)
+        solver.factorize(1.0)
+        ckpt = str(tmp_path / "ckpt")
+        solver.save_checkpoint(ckpt)
+        return X, ckpt
+
+    def test_offline_insert_rechckpoints(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        from repro import FastKernelSolver
+
+        X, ckpt = self._checkpointed_solver(tmp_path)
+        Xi = X[7] + 0.02 * np.random.default_rng(1).standard_normal((4, 3))
+        npy = tmp_path / "insert.npy"
+        np.save(npy, Xi)
+        code = main(["update", "--checkpoint", ckpt,
+                     "--insert", str(npy), "--json"])
+        assert code == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["n_inserted"] == 4
+        assert payload["previous"] != payload["model"]
+        # the directory was re-checkpointed under the new fingerprint
+        resumed = FastKernelSolver.resume(ckpt)
+        assert resumed.n_points == 260
+        assert resumed.fingerprint() == payload["model"]
+
+    def test_offline_lambda_refit(self, tmp_path, capsys):
+        import json
+
+        _, ckpt = self._checkpointed_solver(tmp_path)
+        code = main(["update", "--checkpoint", ckpt, "--lam", "0.25", "--json"])
+        assert code == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["mode"] == "lambda"
+        assert payload["previous"] == payload["model"]
+
+    def test_update_usage_errors(self, tmp_path, capsys):
+        # no update arguments at all
+        assert main(["update", "--checkpoint", "x"]) == EXIT_USAGE
+        # daemon and offline modes are exclusive
+        assert main(["update", "--checkpoint", "x", "--host", "h",
+                     "--port", "1", "--lam", "2"]) == EXIT_USAGE
+        # half a daemon endpoint
+        assert main(["update", "--host", "h", "--lam", "2"]) == EXIT_USAGE
+        # no target at all
+        assert main(["update", "--lam", "2"]) == EXIT_USAGE
+        capsys.readouterr()

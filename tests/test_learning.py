@@ -164,3 +164,40 @@ class TestCrossValidation:
         Xtr, ytr, _, _ = classification_data
         with pytest.raises(ValueError):
             holdout_cross_validation(Xtr, ytr, [1.0], [1.0], holdout_fraction=1.5)
+
+
+class TestRefitLambdaConsistency:
+    """refit(lam=...) must never solve against stale-lambda factors.
+
+    The historical bug: refit updated ``self.lam`` but reused the
+    factorization telescoped at the old lambda, silently returning the
+    old model's weights.  Routing through ``FastKernelSolver.update``
+    makes a changed lambda always refactorize and an unchanged one
+    never.
+    """
+
+    def test_refit_matches_fresh_fit(self):
+        X = RNG.standard_normal((512, 4))
+        y = np.sin(X[:, 0]) + 0.1 * RNG.standard_normal(512)
+        kw = dict(tree_config=FAST_TREE, skeleton_config=FAST_SKEL)
+        swept = KernelRidgeRegressor(GaussianKernel(bandwidth=1.0), lam=1.0, **kw)
+        swept.fit(X, y)
+        swept.refit(y, lam=0.01)
+        fresh = KernelRidgeRegressor(GaussianKernel(bandwidth=1.0), lam=0.01, **kw)
+        fresh.fit(X, y)
+        assert swept.solver.factorization.lam == 0.01
+        scale = max(1.0, np.abs(fresh.weights).max())
+        assert np.abs(swept.weights - fresh.weights).max() / scale < 1e-12
+
+    def test_unchanged_lambda_skips_refactorization(self):
+        X = RNG.standard_normal((384, 4))
+        y = RNG.standard_normal(384)
+        model = KernelRidgeRegressor(
+            GaussianKernel(bandwidth=1.0), lam=0.5,
+            tree_config=FAST_TREE, skeleton_config=FAST_SKEL,
+        )
+        model.fit(X, y)
+        fact = model.solver.factorization
+        model.refit(2.0 * y)  # new labels, same lambda
+        assert model.solver.factorization is fact
+        assert model.solver.last_update.mode == "noop"

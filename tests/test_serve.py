@@ -735,3 +735,163 @@ class TestClientRetry:
             stop.set()
             listener.close()
             thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# incremental updates of resident models (docs/UPDATES.md)
+# ----------------------------------------------------------------------
+class TestResidentUpdates:
+    def fresh_registry(self, seed=30):
+        s = _make_solver(n=256, seed=seed)
+        reg = ModelRegistry()
+        return reg, reg.register(s), s
+
+    def test_peek_eviction_is_typed(self):
+        from repro.exceptions import ResidentEvictedError
+
+        reg, fp, _ = self.fresh_registry()
+        assert reg.peek(fp).solver is not None
+        assert reg.evict(fp)
+        with pytest.raises(ResidentEvictedError) as exc:
+            reg.peek(fp)
+        # KeyError-compatible for legacy except clauses
+        assert isinstance(exc.value, KeyError)
+
+    def test_update_resident_rotates_fingerprint(self):
+        from repro.exceptions import ResidentEvictedError
+
+        reg, fp, s = self.fresh_registry(seed=31)
+        reg.get(fp)  # bump the solve counter that must survive
+        solves = reg.peek(fp).solves
+        Xi = s._X[7] + 0.02 * RNG.standard_normal((4, 3))
+        new_fp = reg.update_resident(fp, X_insert=Xi)
+        assert new_fp != fp
+        assert reg.fingerprints() == [new_fp]
+        assert reg.peek(new_fp).solves == solves
+        assert reg.peek(new_fp).solver.n_points == 260
+        with pytest.raises(ResidentEvictedError):
+            reg.peek(fp)
+
+    def test_lambda_update_keeps_fingerprint(self):
+        reg, fp, s = self.fresh_registry(seed=32)
+        # lambda is not part of the data fingerprint: same identity
+        assert reg.update_resident(fp, lam=2.5) == fp
+        assert reg.peek(fp).solver.factorization.lam == 2.5
+
+    def test_failed_update_is_not_readmitted(self):
+        from repro.exceptions import ResidentEvictedError
+
+        reg, fp, _ = self.fresh_registry(seed=33)
+        before = metrics_registry().total("serve.registry.update_failures")
+        with pytest.raises(ConfigurationError):
+            reg.update_resident(fp, kernel_params={"no_such_param": 1.0})
+        assert (
+            metrics_registry().total("serve.registry.update_failures")
+            == before + 1
+        )
+        # the stale fingerprint no longer promises anything
+        with pytest.raises(ResidentEvictedError):
+            reg.peek(fp)
+
+    def test_update_peek_race_is_typed(self):
+        """Concurrent peeks during an update see either the old resident
+        or ResidentEvictedError — never an untyped KeyError."""
+        from repro.exceptions import ResidentEvictedError
+
+        reg, fp, s = self.fresh_registry(seed=34)
+        outcomes = {"resident": 0, "evicted": 0, "other": 0}
+        stop = threading.Event()
+
+        def peeker():
+            while not stop.is_set():
+                try:
+                    reg.peek(fp)
+                    outcomes["resident"] += 1
+                except ResidentEvictedError:
+                    outcomes["evicted"] += 1
+                except Exception:
+                    outcomes["other"] += 1
+
+        threads = [threading.Thread(target=peeker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        Xi = s._X[7] + 0.02 * RNG.standard_normal((4, 3))
+        new_fp = reg.update_resident(fp, X_insert=Xi)
+        time.sleep(0.05)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert new_fp != fp
+        assert outcomes["resident"] > 0
+        assert outcomes["evicted"] > 0
+        assert outcomes["other"] == 0
+
+    def test_service_update_reports(self):
+        s = _make_solver(n=256, seed=35)
+        svc = SolverService(ServeConfig(window_seconds=0.01, max_batch=4))
+        fp = svc.registry.register(s)
+        try:
+            result = svc.update(model=fp, lam=3.0)
+            assert result["previous"] == fp
+            assert result["model"] == fp
+            assert result["report"]["mode"] == "lambda"
+            assert result["report"]["lam"] == 3.0
+        finally:
+            svc.close()
+
+
+class TestDaemonUpdate:
+    @pytest.fixture()
+    def endpoint(self):
+        solver = _make_solver(n=256, seed=36)
+        svc = SolverService(ServeConfig(window_seconds=0.01, max_batch=8))
+        svc.registry.register(solver)
+        daemon = ServeDaemon(svc, port=0)
+        ready = threading.Event()
+
+        async def main():
+            await daemon.start()
+            ready.set()
+            await daemon.wait_stopped()
+            await daemon.aclose()
+
+        thread = threading.Thread(target=lambda: asyncio.run(main()))
+        thread.start()
+        assert ready.wait(10.0)
+        yield daemon, solver
+        daemon.request_stop()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_update_roundtrip(self, endpoint):
+        daemon, solver = endpoint
+        fp = solver.fingerprint()
+        Xi = solver._X[7] + 0.02 * RNG.standard_normal((4, 3))
+        with ServeClient(port=daemon.bound_port) as client:
+            response = client.update(model=fp, insert=Xi)
+            assert response["previous"] == fp
+            new_fp = response["model"]
+            assert new_fp != fp
+            assert response["report"]["mode"] in ("incremental", "rebuild")
+            assert response["report"]["n_inserted"] == 4
+            assert client.models() == [new_fp]
+            u = RNG.standard_normal(260)
+            w = client.solve(u, model=new_fp)["w"]
+            assert np.allclose(w, solver.solve(u), atol=1e-12)
+
+    def test_stale_fingerprint_maps_to_evicted_status(self, endpoint):
+        from repro.cli import EXIT_ERROR
+        from repro.exceptions import ResidentEvictedError
+        from repro.serve.daemon import error_payload
+
+        daemon, solver = endpoint
+        fp = solver.fingerprint()
+        payload = error_payload(ResidentEvictedError("gone"))
+        assert payload["status"] == "evicted"
+        assert payload["code"] == EXIT_ERROR
+        with ServeClient(port=daemon.bound_port) as client:
+            client.update(model=fp, lam=4.0)  # same fp (lambda-only)
+            client.evict(fp)
+            with pytest.raises(ResidentEvictedError):
+                client.update(model=fp, lam=5.0)

@@ -1,0 +1,353 @@
+"""Incremental updates (insert/delete, lambda/bandwidth sweeps) vs rebuilds.
+
+ISSUE 10 acceptance: after inserting 1% clustered points into N=4096,
+``update()`` must match a from-scratch rebuild to 1e-10 while
+refactorizing fewer than 25% of the nodes.  The wide-bandwidth /
+large-sample recipe below is what makes 1e-10 achievable — the ASKIT
+approximation error, not the update machinery, is the accuracy floor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SkeletonConfig, SolverConfig, TreeConfig
+from repro.core.solver import FastKernelSolver
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.kernels import GaussianKernel, MaternKernel
+from repro.obs import registry
+from repro.resilience.checkpoint import Checkpoint
+
+RNG = np.random.default_rng(42)
+
+
+def make_solver(
+    X,
+    *,
+    bandwidth=8.0,
+    num_samples=2048,
+    solver_config=None,
+    fit=True,
+):
+    solver = FastKernelSolver(
+        GaussianKernel(bandwidth=bandwidth),
+        tree_config=TreeConfig(leaf_size=64, seed=1),
+        skeleton_config=SkeletonConfig(
+            tau=1e-12, num_samples=num_samples, num_neighbors=64, seed=2
+        ),
+        solver_config=solver_config or SolverConfig(),
+    )
+    if fit:
+        solver.fit(X)
+    return solver
+
+
+def clustered_inserts(X, k, scale=0.02, seed=7):
+    """k new points huddled around one existing point: dirties few leaves."""
+    rng = np.random.default_rng(seed)
+    return X[7] + scale * rng.standard_normal((k, X.shape[1]))
+
+
+def rel_err(w, w_ref):
+    return np.abs(w - w_ref).max() / max(1.0, np.abs(w_ref).max())
+
+
+# ---------------------------------------------------------------------------
+# acceptance-scale parity (the ISSUE's headline numbers)
+# ---------------------------------------------------------------------------
+class TestAcceptanceParity:
+    def test_insert_one_percent_clustered(self):
+        n, lam = 4096, 5.0
+        X = RNG.standard_normal((n, 4))
+        Xi = clustered_inserts(X, n // 100)
+        u = RNG.standard_normal(n + len(Xi))
+
+        solver = make_solver(X)
+        solver.factorize(lam)
+        before = registry().total("update.nodes_refactored")
+        solver.update(X_insert=Xi)
+        report = solver.last_update
+
+        fresh = make_solver(np.concatenate([X, Xi]))
+        fresh.factorize(lam)
+
+        assert report.mode == "incremental"
+        assert not report.full_rebuild
+        assert report.n_inserted == len(Xi)
+        assert solver.n_points == n + len(Xi)
+        # < 25% of the nodes touched, and the counter agrees with the report
+        assert report.nodes_refactored < 0.25 * report.nodes_total
+        assert report.nodes_reused > 0
+        delta = registry().total("update.nodes_refactored") - before
+        assert delta == report.nodes_refactored
+        # parity with the from-scratch rebuild
+        assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-10
+
+
+# ---------------------------------------------------------------------------
+# smaller-scale geometry updates
+# ---------------------------------------------------------------------------
+class TestGeometryUpdates:
+    N = 1024
+    LAM = 5.0
+
+    @pytest.fixture()
+    def X(self):
+        return np.random.default_rng(3).standard_normal((self.N, 4))
+
+    def factorized(self, X):
+        solver = make_solver(X, num_samples=512)
+        solver.factorize(self.LAM)
+        return solver
+
+    def test_delete_parity(self, X):
+        solver = self.factorized(X)
+        # drop a handful of scattered points
+        delete = np.array([5, 17, 300, 301, 999])
+        solver.update(X_delete=delete)
+        assert solver.last_update.mode == "incremental"
+        assert solver.last_update.n_deleted == len(delete)
+        X_new = np.delete(X, delete, axis=0)
+        assert solver.n_points == len(X_new)
+        fresh = make_solver(X_new, num_samples=512)
+        fresh.factorize(self.LAM)
+        u = np.random.default_rng(4).standard_normal(len(X_new))
+        assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-9
+
+    def test_mixed_insert_delete_order_contract(self, X):
+        solver = self.factorized(X)
+        Xi = clustered_inserts(X, 8)
+        delete = np.array([0, 50, 1000])
+        solver.update(X_insert=Xi, X_delete=delete)
+        # new user order is concat(delete(X_old, X_delete), X_insert)
+        expected = np.concatenate([np.delete(X, delete, axis=0), Xi])
+        assert np.array_equal(solver._X, expected)
+        fresh = make_solver(expected, num_samples=512)
+        fresh.factorize(self.LAM)
+        u = np.random.default_rng(5).standard_normal(len(expected))
+        assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-9
+
+    def test_unfactorized_update_keeps_solver_unfactorized(self, X):
+        solver = make_solver(X, num_samples=512)  # fitted, never factorized
+        Xi = clustered_inserts(X, 4)
+        solver.update(X_insert=Xi)
+        assert solver.n_points == self.N + 4
+        assert solver.factorization is None
+        assert solver.last_update.nodes_total == 0
+        solver.factorize(self.LAM)  # still usable afterwards
+        solver.solve(np.ones(self.N + 4))
+
+    def test_update_requires_fit(self):
+        solver = make_solver(None, fit=False)
+        with pytest.raises(Exception):
+            solver.update(lam=1.0)
+
+    def test_delete_out_of_range(self, X):
+        solver = self.factorized(X)
+        with pytest.raises(ConfigurationError):
+            solver.update(X_delete=np.array([self.N]))
+
+    def test_no_arguments_rejected(self, X):
+        solver = self.factorized(X)
+        with pytest.raises(ConfigurationError):
+            solver.update()
+
+
+# ---------------------------------------------------------------------------
+# lambda refits and kernel-parameter sweeps
+# ---------------------------------------------------------------------------
+class TestLambdaAndKernelUpdates:
+    @pytest.fixture(scope="class")
+    def X(self):
+        return np.random.default_rng(6).standard_normal((768, 4))
+
+    def test_lambda_noop(self, X):
+        solver = make_solver(X, num_samples=512)
+        solver.factorize(2.0)
+        fact = solver.factorization
+        solver.update(lam=2.0)
+        assert solver.last_update.mode == "noop"
+        assert solver.factorization is fact  # untouched, not refactorized
+
+    def test_lambda_refit_matches_fresh_factorize(self, X):
+        solver = make_solver(X, num_samples=512)
+        solver.factorize(2.0)
+        solver.update(lam=0.5)
+        assert solver.last_update.mode == "lambda"
+        assert solver.factorization.lam == 0.5
+        fresh = make_solver(X, num_samples=512)
+        fresh.factorize(0.5)
+        u = np.random.default_rng(7).standard_normal(len(X))
+        # same deterministic pipeline, only the construction is shared
+        assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-12
+
+    def test_lambda_sweep_never_solves_stale_factors(self, X):
+        solver = make_solver(X, num_samples=512)
+        solver.factorize(1.0)
+        u = np.random.default_rng(8).standard_normal(len(X))
+        for lam in [0.1, 1.0, 10.0]:
+            solver.update(lam=lam)
+            assert solver.factorization.lam == lam
+            fresh = make_solver(X, num_samples=512)
+            fresh.factorize(lam)
+            assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-12
+
+    def test_bandwidth_sweep(self, X):
+        solver = make_solver(X, num_samples=512, bandwidth=8.0)
+        solver.factorize(2.0)
+        solver.update(kernel_params={"bandwidth": 6.0})
+        report = solver.last_update
+        assert report.mode == "kernel"
+        assert report.kernel_params == {"bandwidth": 6.0}
+        assert solver.kernel.bandwidth == 6.0
+        fresh = make_solver(X, num_samples=512, bandwidth=6.0)
+        fresh.factorize(2.0)
+        u = np.random.default_rng(9).standard_normal(len(X))
+        # frozen skeleton structure + LS-refit projections: looser parity
+        assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-4
+
+    def test_kernel_params_validated(self, X):
+        solver = make_solver(X, num_samples=512)
+        solver.factorize(1.0)
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            solver.update(kernel_params={"bandwith": 1.0})
+
+    def test_kernel_params_exclusive_with_geometry(self, X):
+        solver = make_solver(X, num_samples=512)
+        solver.factorize(1.0)
+        with pytest.raises(ConfigurationError, match="cannot be combined"):
+            solver.update(
+                X_insert=np.zeros((1, 4)), kernel_params={"bandwidth": 2.0}
+            )
+
+    def test_generic_kernel_rebuild(self):
+        """kernel_params works for any kernel via introspection."""
+        X = np.random.default_rng(10).standard_normal((384, 3))
+        solver = FastKernelSolver(
+            MaternKernel(bandwidth=4.0, nu=1.5),
+            tree_config=TreeConfig(leaf_size=48, seed=1),
+            skeleton_config=SkeletonConfig(
+                tau=1e-8, num_samples=192, num_neighbors=16, seed=2
+            ),
+        )
+        solver.fit(X)
+        solver.factorize(1.0)
+        solver.update(kernel_params={"nu": 2.5})
+        assert solver.kernel.nu == 2.5
+        assert solver.kernel.bandwidth == 4.0  # untouched params carried over
+        solver.solve(np.ones(len(X)))
+
+
+# ---------------------------------------------------------------------------
+# full-rebuild fallbacks
+# ---------------------------------------------------------------------------
+class TestRebuildFallbacks:
+    @pytest.fixture()
+    def X(self):
+        return np.random.default_rng(11).standard_normal((512, 4))
+
+    def test_dirty_fraction_threshold_forces_rebuild(self, X):
+        cfg = SolverConfig(update_rebuild_threshold=0.01)
+        solver = make_solver(X, num_samples=256, solver_config=cfg)
+        solver.factorize(2.0)
+        before = registry().total("update.full_rebuilds")
+        solver.update(X_insert=clustered_inserts(X, 32))
+        report = solver.last_update
+        assert report.mode == "rebuild"
+        assert report.full_rebuild
+        assert report.nodes_refactored == report.nodes_total > 0
+        assert registry().total("update.full_rebuilds") == before + 1
+        # the rebuilt solver is a from-scratch fit: exact parity
+        fresh = make_solver(
+            np.concatenate([X, clustered_inserts(X, 32)]), num_samples=256
+        )
+        fresh.factorize(2.0)
+        u = np.random.default_rng(12).standard_normal(solver.n_points)
+        assert rel_err(solver.solve(u), fresh.solve(u)) < 1e-12
+
+    def test_unroutable_tree_falls_back(self, X):
+        solver = make_solver(X, num_samples=256)
+        solver.factorize(2.0)
+        # simulate a tree unpickled from a pre-routing checkpoint
+        solver.hmatrix.tree.splits = {}
+        assert not solver.hmatrix.tree.has_routing
+        solver.update(X_insert=clustered_inserts(X, 4))
+        assert solver.last_update.mode == "rebuild"
+        assert solver.n_points == len(X) + 4
+
+    def test_emptied_leaf_falls_back(self, X):
+        solver = make_solver(X, num_samples=256)
+        solver.factorize(2.0)
+        tree = solver.hmatrix.tree
+        leaf = tree.leaf_of_position(0)
+        users = np.sort(tree.perm[leaf.lo : leaf.hi])
+        solver.update(X_delete=users)
+        assert solver.last_update.mode == "rebuild"
+        assert solver.n_points == len(X) - len(users)
+
+    def test_threshold_config_validated(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(update_rebuild_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            SolverConfig(update_rebuild_threshold=1.5)
+
+    def test_threshold_not_in_fingerprint(self, X):
+        a = make_solver(X, num_samples=256)
+        b = make_solver(
+            X,
+            num_samples=256,
+            solver_config=SolverConfig(update_rebuild_threshold=0.5),
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# fingerprints and checkpoints across updates
+# ---------------------------------------------------------------------------
+class TestFingerprintAndCheckpoint:
+    @pytest.fixture()
+    def X(self):
+        return np.random.default_rng(13).standard_normal((512, 4))
+
+    def test_fingerprint_tracks_data_mutation(self, X):
+        solver = make_solver(X, num_samples=256)
+        solver.factorize(1.0)
+        fp0 = solver.fingerprint()
+        solver.update(lam=2.0)
+        assert solver.fingerprint() == fp0  # lambda is not part of the data
+        solver.update(X_insert=clustered_inserts(X, 4))
+        fp1 = solver.fingerprint()
+        assert fp1 != fp0
+        solver.update(X_delete=np.array([0]))
+        assert solver.fingerprint() not in (fp0, fp1)
+
+    def test_checkpoint_rewritten_after_update(self, X, tmp_path):
+        solver = make_solver(X, num_samples=256)
+        solver.factorize(1.0)
+        solver.save_checkpoint(str(tmp_path))
+        cfg = solver.solver_config
+        solver.solver_config = cfg.__class__(
+            **{**cfg.__dict__, "resilience": cfg.resilience.__class__(
+                **{**cfg.resilience.__dict__, "checkpoint_dir": str(tmp_path)}
+            )}
+        )
+        solver.update(X_insert=clustered_inserts(X, 4))
+        resumed = FastKernelSolver.resume(str(tmp_path))
+        assert resumed.n_points == solver.n_points
+        u = np.random.default_rng(14).standard_normal(solver.n_points)
+        assert np.array_equal(resumed.solve(u), solver.solve(u))
+
+    def test_resume_rejects_stale_skeletons(self, X, tmp_path):
+        """Point-count mismatch between payloads → typed CheckpointError."""
+        solver = make_solver(X, num_samples=256)
+        solver.factorize(1.0)
+        solver.save_checkpoint(str(tmp_path))
+        # simulate a crash between mutating the model and re-checkpointing:
+        # the manifest/solver payload still validate, but the skeletons
+        # belong to a smaller point set.
+        small = make_solver(X[: len(X) // 2], num_samples=128)
+        cp = Checkpoint(
+            str(tmp_path), fingerprint=solver._fingerprint(), mode="write"
+        )
+        cp.save("skeletons", small.hmatrix)
+        with pytest.raises(CheckpointError, match="updated without"):
+            FastKernelSolver.resume(str(tmp_path))
